@@ -1,0 +1,42 @@
+# Silent Shredder reproduction — developer entry points.
+# Everything is plain `go` under the hood; these are just the common runs.
+
+GO ?= go
+
+.PHONY: all build test vet bench quick-experiments experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full test run recorded to test_output.txt (what EXPERIMENTS.md cites).
+test-record:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Fast smoke pass over every experiment (~1 minute).
+quick-experiments:
+	$(GO) run ./cmd/experiments -quick -cores 2 -scale 64 all
+
+# The full evaluation reproduction (~10 minutes).
+experiments:
+	$(GO) run ./cmd/experiments all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/graphanalytics
+	$(GO) run ./examples/vmisolation
+	$(GO) run ./examples/largeinit
+	$(GO) run ./examples/persistent
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,207 @@
+// Command experiments regenerates every table and figure in the paper's
+// evaluation, plus the design-choice ablations. Each subcommand prints an
+// aligned text table with the paper's reference numbers in the title.
+//
+// Usage:
+//
+//	experiments [flags] <experiment>...
+//
+// Experiments: table1 table2 fig4 fig5 fig8 fig9 fig10 fig11 fig12
+// ablation-iv ablation-dcw ablation-deuce ablation-wt ablation-merkle
+// energy export summary all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"silentshredder/internal/exper"
+	"silentshredder/internal/stats"
+)
+
+func main() {
+	var o exper.Options
+	flag.IntVar(&o.Cores, "cores", 8, "simulated cores (one workload instance per core)")
+	flag.IntVar(&o.Scale, "scale", 8, "divide Table 1 cache capacities by this factor")
+	flag.BoolVar(&o.Quick, "quick", false, "shrink workloads for a fast smoke run")
+	var workloads string
+	flag.StringVar(&workloads, "workloads", "", "comma-separated subset for fig8-fig11 (default: all 29)")
+	var format string
+	flag.StringVar(&format, "format", "text", "output for the comparison data: text | csv | json")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	names := splitList(workloads)
+
+	// fig8-fig11 share one comparison sweep; run it lazily and once.
+	var results []exper.Result
+	comparison := func() []exper.Result {
+		if results == nil {
+			fmt.Fprintf(os.Stderr, "running baseline vs Silent Shredder comparison (%d workloads x %d cores x 2 modes)...\n",
+				lenOr(names, 29), o.Cores)
+			results = exper.CompareAll(o, names)
+		}
+		return results
+	}
+
+	for _, cmd := range args {
+		switch cmd {
+		case "table1":
+			fmt.Println(exper.Table1(o))
+		case "table2":
+			fmt.Println(exper.Table2Format(exper.Table2(o)))
+		case "fig4":
+			fmt.Println(exper.Fig4Table(exper.Fig4(o, nil)))
+		case "fig5":
+			fmt.Println(exper.Fig5Table(exper.Fig5(o)))
+		case "fig8":
+			fmt.Println(exper.Fig8Table(comparison()))
+		case "fig9":
+			fmt.Println(exper.Fig9Table(comparison()))
+		case "fig10":
+			fmt.Println(exper.Fig10Table(comparison()))
+		case "fig11":
+			fmt.Println(exper.Fig11Table(comparison()))
+		case "fig12":
+			fmt.Println(exper.Fig12Table(o, exper.Fig12(o, nil)))
+		case "ablation-iv":
+			fmt.Println(exper.AblationIVTable(exper.AblationIV(o)))
+		case "ablation-dcw":
+			fmt.Println(exper.AblationDCWTable(exper.AblationDCW(o)))
+		case "ablation-deuce":
+			fmt.Println(exper.AblationDeuceTable(exper.AblationDeuce(o)))
+		case "ablation-writeq":
+			fmt.Println(exper.AblationWQTable(exper.AblationWQ(o)))
+		case "ablation-wt":
+			fmt.Println(exper.AblationWTTable(exper.AblationWT(o)))
+		case "ablation-merkle":
+			fmt.Println(exper.AblationMerkleTable(exper.AblationMerkle(o)))
+		case "energy":
+			fmt.Println(exper.EnergyTable(comparison()))
+		case "summary":
+			printSummary(comparison())
+		case "export":
+			switch format {
+			case "csv":
+				out, err := exper.ResultsCSV(comparison())
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Print(out)
+			case "json":
+				out, err := exper.ResultsJSON(comparison())
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Println(string(out))
+			default:
+				fmt.Println(exper.Fig8Table(comparison()))
+				fmt.Println(exper.Fig9Table(comparison()))
+				fmt.Println(exper.Fig10Table(comparison()))
+				fmt.Println(exper.Fig11Table(comparison()))
+			}
+		case "all":
+			fmt.Println(exper.Table1(o))
+			fmt.Println(exper.Table2Format(exper.Table2(o)))
+			fmt.Println(exper.Fig4Table(exper.Fig4(o, nil)))
+			fmt.Println(exper.Fig5Table(exper.Fig5(o)))
+			fmt.Println(exper.Fig8Table(comparison()))
+			fmt.Println(exper.Fig9Table(comparison()))
+			fmt.Println(exper.Fig10Table(comparison()))
+			fmt.Println(exper.Fig11Table(comparison()))
+			fmt.Println(exper.Fig12Table(o, exper.Fig12(o, nil)))
+			fmt.Println(exper.AblationIVTable(exper.AblationIV(o)))
+			fmt.Println(exper.AblationDCWTable(exper.AblationDCW(o)))
+			fmt.Println(exper.AblationDeuceTable(exper.AblationDeuce(o)))
+			fmt.Println(exper.AblationWTTable(exper.AblationWT(o)))
+			fmt.Println(exper.AblationWQTable(exper.AblationWQ(o)))
+			fmt.Println(exper.AblationMerkleTable(exper.AblationMerkle(o)))
+			fmt.Println(exper.EnergyTable(comparison()))
+			printSummary(comparison())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", cmd)
+			usage()
+			os.Exit(2)
+		}
+	}
+}
+
+func printSummary(results []exper.Result) {
+	var ws, rs, sp, ipc []float64
+	for _, r := range results {
+		ws = append(ws, r.WriteSavings)
+		rs = append(rs, r.ReadSavings)
+		sp = append(sp, r.ReadSpeedup)
+		ipc = append(ipc, r.RelativeIPC)
+	}
+	ref := exper.PaperRef
+	t := stats.NewTable("Summary: paper-reported vs measured (averages)",
+		"metric", "paper", "measured")
+	t.AddRow("write savings (fig 8)", ref.AvgWriteSavings, stats.ArithMean(ws))
+	t.AddRow("read traffic savings (fig 9)", ref.AvgReadSavings, stats.ArithMean(rs))
+	t.AddRow("memory read speedup (fig 10)", ref.AvgReadSpeedup, stats.GeoMean(sp))
+	t.AddRow("relative IPC (fig 11)", 1+ref.AvgIPCGain, stats.GeoMean(ipc))
+	fmt.Println(t)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func lenOr(s []string, def int) int {
+	if len(s) == 0 {
+		return def
+	}
+	return len(s)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: experiments [flags] <experiment>...
+
+Regenerates the paper's evaluation tables and figures on the simulator.
+
+experiments:
+  table1           simulated system configuration
+  table2           initialization-technique comparison (measured)
+  fig4             kernel-zeroing share of memset time (64MB-1GB)
+  fig5             relative writes by kernel zeroing strategy (PowerGraph)
+  fig8             per-benchmark main-memory write savings
+  fig9             per-benchmark read-traffic savings
+  fig10            per-benchmark memory read speedup
+  fig11            per-benchmark relative IPC
+  fig12            counter-cache size vs miss rate
+  ablation-iv      the three 4.2 shred encodings
+  ablation-dcw     encryption diffusion vs DCW/Flip-N-Write
+  ablation-deuce   Silent Shredder composed with DEUCE
+  ablation-wt      write-back vs write-through counter cache
+  ablation-writeq  zeroing write bursts blocking reads
+  ablation-merkle  Bonsai Merkle integrity overhead
+  energy           NVM energy savings (the paper's power-reduction claim)
+  export           comparison data as text/csv/json (see -format)
+  summary          averages vs the paper's headline numbers
+  all              everything above
+
+flags:
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,121 @@
+// Command leakscan is the attack-model forensics tool: it walks a DIMM
+// image (a memory-state checkpoint written by shredsim -save-nvm or
+// sim.SaveMemoryState) the way an adversary with physical access would —
+// scanning raw cells for plaintext — and reports what it finds.
+//
+// On a correctly operating secure controller the data region contains
+// only ciphertext, so a scan for any plaintext pattern comes up empty;
+// the tool exists to demonstrate (and regression-check) exactly that.
+//
+//	leakscan -image dimm.img -pattern "BEGIN RSA PRIVATE KEY"
+//	leakscan -image dimm.img -entropy   # per-page byte-entropy summary
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/kernel"
+	"silentshredder/internal/memctrl"
+	"silentshredder/internal/sim"
+)
+
+func main() {
+	var (
+		image   = flag.String("image", "", "DIMM image / checkpoint file (required)")
+		pattern = flag.String("pattern", "", "plaintext pattern to scan for")
+		entropy = flag.Bool("entropy", false, "print per-page byte-entropy summary")
+		scale   = flag.Int("scale", 64, "cache scale of the machine the image is loaded into")
+	)
+	flag.Parse()
+	if *image == "" || (*pattern == "" && !*entropy) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*image)
+	if err != nil {
+		fatal(err.Error())
+	}
+	defer f.Close()
+
+	// Load the image into a machine shell: leakscan only inspects the
+	// device contents, never the decrypting datapath — the adversary has
+	// the DIMM, not the processor.
+	cfg := sim.ScaledConfig(memctrl.SilentShredder, kernel.ZeroShred, *scale)
+	cfg.Hier.Cores = 1
+	m, err := sim.New(cfg)
+	if err != nil {
+		fatal(err.Error())
+	}
+	if err := m.LoadMemoryState(f); err != nil {
+		fatal(err.Error())
+	}
+
+	pages := 0
+	hits := 0
+	type pageEnt struct {
+		page addr.PageNum
+		ent  float64
+	}
+	var ents []pageEnt
+	m.Dev.ForEachPage(func(p addr.PageNum, data *[addr.PageSize]byte) {
+		pages++
+		if *pattern != "" && bytes.Contains(data[:], []byte(*pattern)) {
+			hits++
+			fmt.Printf("LEAK: pattern found in page %v\n", p)
+		}
+		if *entropy {
+			ents = append(ents, pageEnt{p, byteEntropy(data[:])})
+		}
+	})
+
+	fmt.Printf("scanned %d resident pages\n", pages)
+	if *pattern != "" {
+		if hits == 0 {
+			fmt.Printf("pattern %q not found: the DIMM holds no such plaintext\n", *pattern)
+		} else {
+			fmt.Printf("%d page(s) leak the pattern\n", hits)
+			os.Exit(1)
+		}
+	}
+	if *entropy {
+		sort.Slice(ents, func(i, j int) bool { return ents[i].ent < ents[j].ent })
+		fmt.Println("\nlowest-entropy pages (plaintext and zeroed pages rank lowest):")
+		for i := 0; i < len(ents) && i < 8; i++ {
+			fmt.Printf("  %v  %.3f bits/byte\n", ents[i].page, ents[i].ent)
+		}
+		if n := len(ents); n > 0 {
+			fmt.Printf("highest: %v  %.3f bits/byte (ciphertext approaches 8.0)\n",
+				ents[n-1].page, ents[n-1].ent)
+		}
+	}
+}
+
+// byteEntropy computes the Shannon entropy of the page in bits per byte.
+func byteEntropy(data []byte) float64 {
+	var counts [256]int
+	for _, b := range data {
+		counts[b]++
+	}
+	h := 0.0
+	n := float64(len(data))
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "leakscan: "+msg)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Command shredsim runs a single workload on the simulated secure-NVMM
+// machine and dumps the full statistics registry — the general-purpose
+// front door to the simulator.
+//
+// Examples:
+//
+//	shredsim -workload pagerank -mode ss -zeroing shred
+//	shredsim -workload mcf -mode baseline -zeroing non-temporal -cores 4
+//	shredsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"silentshredder/internal/exper"
+	"silentshredder/internal/kernel"
+	"silentshredder/internal/memctrl"
+	"silentshredder/internal/workloads/spec"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "pagerank", "workload to run (see -list)")
+		mode     = flag.String("mode", "ss", "memory controller: ss | baseline")
+		zeroing  = flag.String("zeroing", "", "kernel zeroing: shred | non-temporal | temporal (default matches -mode)")
+		cores    = flag.Int("cores", 8, "cores (one workload instance each)")
+		scale    = flag.Int("scale", 8, "divide Table 1 cache capacities by this factor")
+		quick    = flag.Bool("quick", false, "shrink the workload")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+
+		deuce     = flag.Bool("deuce", false, "enable DEUCE partial re-encryption")
+		integrity = flag.Bool("integrity", false, "enable the Bonsai Merkle counter tree")
+		ccSize    = flag.Int("counter-cache", 0, "counter cache bytes (0 = Table 1 / scale)")
+		wt        = flag.Bool("write-through", false, "write-through counter cache (no battery needed)")
+		saveNVM   = flag.String("save-nvm", "", "after the run, write a memory-state checkpoint (DIMM image) to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("SPEC CPU2006 profiles:")
+		for _, p := range spec.Profiles {
+			fmt.Printf("  %s\n", p.Name)
+		}
+		fmt.Println("PowerGraph applications:")
+		for _, n := range exper.Fig5Workloads {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+
+	mcMode := memctrl.SilentShredder
+	zm := kernel.ZeroShred
+	switch *mode {
+	case "ss", "silent-shredder":
+	case "baseline":
+		mcMode = memctrl.Baseline
+		zm = kernel.ZeroNonTemporal
+	default:
+		fmt.Fprintf(os.Stderr, "shredsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	switch *zeroing {
+	case "":
+	case "shred":
+		zm = kernel.ZeroShred
+	case "non-temporal":
+		zm = kernel.ZeroNonTemporal
+	case "temporal":
+		zm = kernel.ZeroTemporal
+	default:
+		fmt.Fprintf(os.Stderr, "shredsim: unknown zeroing %q\n", *zeroing)
+		os.Exit(2)
+	}
+	if zm == kernel.ZeroShred && mcMode != memctrl.SilentShredder {
+		fmt.Fprintln(os.Stderr, "shredsim: shred zeroing requires -mode ss")
+		os.Exit(2)
+	}
+
+	o := exper.Options{Cores: *cores, Scale: *scale, Quick: *quick}
+	tweak := exper.MachineTweaks{
+		DEUCE:            *deuce,
+		Integrity:        *integrity,
+		CounterCacheSize: *ccSize,
+		WriteThrough:     *wt,
+	}
+	m, err := exper.RunWorkloadTweaked(o, *workload, mcMode, zm, tweak)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload=%s mode=%s zeroing=%s cores=%d scale=1/%d\n\n",
+		*workload, mcMode, zm, *cores, *scale)
+	fmt.Printf("aggregate IPC: %.4f\n", m.AggregateIPC())
+	fmt.Printf("instructions:  %d\n", m.TotalInstructions())
+	fmt.Printf("cycles (max):  %d (%.3f ms simulated)\n\n",
+		m.MaxCycles(), float64(m.MaxCycles())/2e9*1e3)
+	fmt.Print(m.Registry().Dump())
+
+	if *saveNVM != "" {
+		f, err := os.Create(*saveNVM)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := m.SaveMemoryState(f); err != nil {
+			fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "memory-state checkpoint written to %s\n", *saveNVM)
+	}
+}

@@ -1,0 +1,81 @@
+// Persistent memory: NVMM as storage (paper §2.1). A process builds a
+// durable record in a named persistent region, commits it, and the data —
+// and the mapping — survive a power loss. Silent Shredder coexists: the
+// persistent pages are exempt from reuse, and everything else still gets
+// zero-cost shredding.
+//
+//	go run ./examples/persistent
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/kernel"
+	"silentshredder/internal/memctrl"
+	"silentshredder/internal/sim"
+)
+
+func main() {
+	cfg := sim.ScaledConfig(memctrl.SilentShredder, kernel.ZeroShred, 64)
+	cfg.Hier.Cores = 1
+	cfg.MemPages = 1 << 14
+	cfg.VerifyPlaintext = true
+	m, err := sim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := m.Kernel
+
+	// --- before the crash ---
+	p := k.NewProcess()
+	va, err := k.PersistentMmap(0, p, "orders.db", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	record := []byte(`{"order":42,"total":"19.99"}`)
+	pa, _ := k.Translate(0, p, va, true)
+	m.Hier.Write(0, pa)
+	m.Img.Write(pa, record)
+	fmt.Printf("wrote record:   %s\n", record)
+
+	// An uncommitted scratch write on ordinary (volatile-by-convention)
+	// memory, for contrast.
+	scratchVA := k.Mmap(p, 1)
+	spa, _ := k.Translate(0, p, scratchVA, true)
+	m.Hier.Write(0, spa)
+	m.Img.Write(spa, []byte("scratch state"))
+
+	// Commit the durable region: clwb loop + fence.
+	lat := k.PersistRange(0, p, va, 4)
+	fmt.Printf("committed in %d cycles (%d journal commits so far)\n",
+		lat, k.JournalCommits())
+
+	// --- power loss ---
+	m.Crash()
+	fmt.Println("\n*** power loss ***")
+
+	// --- after reboot ---
+	p2 := k.NewProcess()
+	va2, err := k.RecoverPersistent(p2, "orders.db")
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := make([]byte, len(record))
+	pa2, _ := k.Translate(0, p2, va2, false)
+	m.Hier.Read(0, pa2)
+	m.Img.Read(pa2, got)
+	fmt.Printf("recovered:      %s\n", got)
+
+	scratch := make([]byte, 13)
+	m.Img.Read(spa.Block()+addr.Phys(spa.BlockOffset()), scratch)
+	fmt.Printf("scratch region: %q (uncommitted: gone)\n", scratch)
+
+	if string(got) != string(record) {
+		log.Fatal("persistent record lost!")
+	}
+	fmt.Println("\nthe named mapping and its data survived the reboot;")
+	fmt.Println("unlinking would return the pages to the pool, where the")
+	fmt.Println("shredder clears them before any other process sees them.")
+}

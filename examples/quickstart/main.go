@@ -1,0 +1,62 @@
+// Quickstart: build a Silent Shredder machine, exercise the shred path,
+// and watch the writes disappear.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/kernel"
+	"silentshredder/internal/memctrl"
+	"silentshredder/internal/sim"
+)
+
+func main() {
+	// A full Table 1 machine, scaled down 64x so the example runs in
+	// milliseconds, with the functional (encrypting) data path on.
+	cfg := sim.ScaledConfig(memctrl.SilentShredder, kernel.ZeroShred, 64)
+	cfg.Hier.Cores = 2
+	cfg.MemPages = 1 << 14
+	cfg.VerifyPlaintext = true // cross-check every decrypt against the image
+	m, err := sim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A process writes a secret into freshly allocated memory.
+	rt := m.Runtime(0)
+	va := rt.Malloc(4 * addr.PageSize)
+	rt.StoreBytes(va, []byte("credit card: 1234-5678-9012-3456"))
+	fmt.Printf("process A wrote:    %q\n", rt.LoadBytes(va, 32))
+
+	// The data is encrypted on its way to the NVM: flush and peek at the
+	// raw device contents — an attacker scanning the DIMM sees noise.
+	m.Hier.FlushAll()
+	pte, _ := rt.Process().AS.Lookup(va.Page())
+	raw := make([]byte, addr.BlockSize)
+	m.Dev.Peek(pte.PPN.Addr(), raw)
+	fmt.Printf("raw NVM ciphertext: %x...\n", raw[:16])
+
+	// Process A exits; its pages return to the pool uncleaned.
+	m.Kernel.ExitProcess(rt.Process())
+
+	// Process B allocates: the kernel shreds the recycled page with one
+	// MMIO command — no data writes — and B reads zeros.
+	writesBefore := m.Dev.Writes()
+	rt2 := m.Runtime(1)
+	vb := rt2.Malloc(4 * addr.PageSize)
+	rt2.Store(vb+512, 1) // first touch faults (and shreds) the page
+	fmt.Printf("process B reads:    %v  (zeros, not A's secret)\n", rt2.LoadBytes(vb, 8))
+	fmt.Printf("NVM writes for the shred: %d (a zeroing kernel would write %d)\n",
+		m.Dev.Writes()-writesBefore, addr.BlocksPerPage)
+
+	fmt.Println()
+	fmt.Println("controller statistics:")
+	fmt.Printf("  shred commands:   %d\n", m.MC.ShredCommands())
+	fmt.Printf("  writes avoided:   %d blocks\n", m.MC.WritesAvoided())
+	fmt.Printf("  zero-fill reads:  %d (served at counter-cache latency, no NVM access)\n",
+		m.MC.ZeroFillReads())
+}

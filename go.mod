@@ -1,0 +1,3 @@
+module silentshredder
+
+go 1.22

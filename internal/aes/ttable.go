@@ -1,0 +1,92 @@
+package aes
+
+import "math/bits"
+
+// T-table encryption: the classic software optimization that folds
+// SubBytes, ShiftRows and MixColumns into four 256-entry word lookups per
+// column. Counter-mode pad generation is the simulator's hottest
+// cryptographic path (four pads per 64B block), so Encrypt uses this
+// path; the byte-oriented implementation remains as encryptRef, and the
+// tests cross-check the two against each other and against crypto/aes.
+
+// te0 holds (2·s, s, s, 3·s) for s = sbox[x]; te1..te3 are byte rotations
+// of te0.
+var te0, te1, te2, te3 [256]uint32
+
+func init() {
+	for x := 0; x < 256; x++ {
+		s := sbox[x]
+		s2 := xtime(s)
+		s3 := s2 ^ s
+		w := uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		te0[x] = w
+		te1[x] = bits.RotateLeft32(w, -8)
+		te2[x] = bits.RotateLeft32(w, -16)
+		te3[x] = bits.RotateLeft32(w, -24)
+	}
+}
+
+// Encrypt encrypts one 16-byte block from src into dst using the T-table
+// fast path. dst and src may overlap entirely; both must be at least
+// BlockSize bytes.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: input not full block")
+	}
+	rk := &c.rk
+	s0 := uint32(src[0])<<24 | uint32(src[1])<<16 | uint32(src[2])<<8 | uint32(src[3])
+	s1 := uint32(src[4])<<24 | uint32(src[5])<<16 | uint32(src[6])<<8 | uint32(src[7])
+	s2 := uint32(src[8])<<24 | uint32(src[9])<<16 | uint32(src[10])<<8 | uint32(src[11])
+	s3 := uint32(src[12])<<24 | uint32(src[13])<<16 | uint32(src[14])<<8 | uint32(src[15])
+	s0 ^= rk[0]
+	s1 ^= rk[1]
+	s2 ^= rk[2]
+	s3 ^= rk[3]
+
+	k := 4
+	for round := 1; round < c.rounds; round++ {
+		t0 := te0[s0>>24] ^ te1[s1>>16&0xff] ^ te2[s2>>8&0xff] ^ te3[s3&0xff] ^ rk[k]
+		t1 := te0[s1>>24] ^ te1[s2>>16&0xff] ^ te2[s3>>8&0xff] ^ te3[s0&0xff] ^ rk[k+1]
+		t2 := te0[s2>>24] ^ te1[s3>>16&0xff] ^ te2[s0>>8&0xff] ^ te3[s1&0xff] ^ rk[k+2]
+		t3 := te0[s3>>24] ^ te1[s0>>16&0xff] ^ te2[s1>>8&0xff] ^ te3[s2&0xff] ^ rk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+
+	// Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+	o0 := uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xff])<<16 | uint32(sbox[s2>>8&0xff])<<8 | uint32(sbox[s3&0xff])
+	o1 := uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xff])<<16 | uint32(sbox[s3>>8&0xff])<<8 | uint32(sbox[s0&0xff])
+	o2 := uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xff])<<16 | uint32(sbox[s0>>8&0xff])<<8 | uint32(sbox[s1&0xff])
+	o3 := uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xff])<<16 | uint32(sbox[s1>>8&0xff])<<8 | uint32(sbox[s2&0xff])
+	o0 ^= rk[k]
+	o1 ^= rk[k+1]
+	o2 ^= rk[k+2]
+	o3 ^= rk[k+3]
+
+	dst[0], dst[1], dst[2], dst[3] = byte(o0>>24), byte(o0>>16), byte(o0>>8), byte(o0)
+	dst[4], dst[5], dst[6], dst[7] = byte(o1>>24), byte(o1>>16), byte(o1>>8), byte(o1)
+	dst[8], dst[9], dst[10], dst[11] = byte(o2>>24), byte(o2>>16), byte(o2>>8), byte(o2)
+	dst[12], dst[13], dst[14], dst[15] = byte(o3>>24), byte(o3>>16), byte(o3>>8), byte(o3)
+}
+
+// EncryptRef is the byte-oriented reference implementation of the forward
+// cipher (SubBytes/ShiftRows/MixColumns/AddRoundKey exactly as FIPS-197
+// writes them). The tests cross-check Encrypt against it.
+func (c *Cipher) EncryptRef(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: input not full block")
+	}
+	var s state
+	copy(s[:], src[:16])
+	c.addRoundKey(&s, 0)
+	for round := 1; round < c.rounds; round++ {
+		subBytes(&s)
+		shiftRows(&s)
+		mixColumns(&s)
+		c.addRoundKey(&s, round)
+	}
+	subBytes(&s)
+	shiftRows(&s)
+	c.addRoundKey(&s, c.rounds)
+	copy(dst[:16], s[:])
+}

@@ -1,0 +1,224 @@
+// Package apprt is the runtime that simulated applications execute
+// against. It provides the memory operations a program performs — loads,
+// stores, memset, allocation — and routes each through the full machine:
+// TLB translation and page faults in the kernel, the cache hierarchy and
+// coherence, and the secure memory controller, while charging the issuing
+// core's timing model.
+//
+// A workload is just Go code calling these methods; the simulator's
+// fidelity comes from every byte it touches flowing through the modeled
+// system, the way a gem5 binary's memory accesses do.
+package apprt
+
+import (
+	"encoding/binary"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/clock"
+	"silentshredder/internal/cpu"
+	"silentshredder/internal/kernel"
+)
+
+// Runtime binds a process to a core.
+type Runtime struct {
+	k    *kernel.Kernel
+	core int
+	proc *kernel.Process
+	cpu  *cpu.Core
+
+	// storeOccupancy is the core-visible cost of an ordinary store (the
+	// write buffer hides the rest).
+	storeOccupancy clock.Cycles
+
+	// trace, when set, observes every operation the program performs
+	// (see internal/trace for the record format and replayer).
+	trace func(op TraceOp)
+}
+
+// TraceKind identifies a traced operation.
+type TraceKind uint8
+
+// Trace operation kinds.
+const (
+	TraceLoad TraceKind = iota + 1
+	TraceStore
+	TraceCompute
+	TraceMalloc
+	TraceFree
+	TraceMemset
+	TraceShredRange
+)
+
+// TraceOp is one observed program operation. Arg is size for
+// Malloc/Free/Memset, the instruction count for Compute, the page count
+// for ShredRange, and unused otherwise.
+type TraceOp struct {
+	Kind TraceKind
+	VA   addr.Virt
+	Arg  uint64
+}
+
+// SetTraceHook installs fn as the operation observer (nil disables).
+func (rt *Runtime) SetTraceHook(fn func(op TraceOp)) { rt.trace = fn }
+
+func (rt *Runtime) emit(kind TraceKind, va addr.Virt, arg uint64) {
+	if rt.trace != nil {
+		rt.trace(TraceOp{Kind: kind, VA: va, Arg: arg})
+	}
+}
+
+// New creates a runtime for proc running on the given core.
+func New(k *kernel.Kernel, core int, proc *kernel.Process, c *cpu.Core) *Runtime {
+	return &Runtime{k: k, core: core, proc: proc, cpu: c, storeOccupancy: 2}
+}
+
+// Core returns the core's timing model.
+func (rt *Runtime) Core() *cpu.Core { return rt.cpu }
+
+// Process returns the bound process.
+func (rt *Runtime) Process() *kernel.Process { return rt.proc }
+
+// Kernel returns the kernel.
+func (rt *Runtime) Kernel() *kernel.Kernel { return rt.k }
+
+// Compute retires n non-memory instructions.
+func (rt *Runtime) Compute(n uint64) {
+	rt.emit(TraceCompute, 0, n)
+	rt.cpu.Compute(n)
+}
+
+// Malloc allocates size bytes (page granular) and returns the virtual
+// base address. Memory is untouched — zero-filled on first use, exactly
+// like anonymous mmap.
+func (rt *Runtime) Malloc(size int) addr.Virt {
+	npages := (size + addr.PageSize - 1) / addr.PageSize
+	if npages == 0 {
+		npages = 1
+	}
+	base := rt.k.Mmap(rt.proc, npages)
+	rt.emit(TraceMalloc, base, uint64(size))
+	return base
+}
+
+// Free releases the allocation at va spanning size bytes.
+func (rt *Runtime) Free(va addr.Virt, size int) {
+	rt.emit(TraceFree, va, uint64(size))
+	npages := (size + addr.PageSize - 1) / addr.PageSize
+	rt.k.Munmap(rt.proc, va, npages)
+}
+
+// Load performs an 8-byte load and returns the value.
+func (rt *Runtime) Load(va addr.Virt) uint64 {
+	rt.emit(TraceLoad, va, 0)
+	pa, klat := rt.k.Translate(rt.core, rt.proc, va, false)
+	lat := klat + rt.k.Hierarchy().Read(rt.core, pa)
+	rt.cpu.Load(lat)
+	var b [8]byte
+	rt.k.Controller().Image().Read(pa, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Store performs an 8-byte store.
+func (rt *Runtime) Store(va addr.Virt, val uint64) {
+	rt.emit(TraceStore, va, val)
+	pa, klat := rt.k.Translate(rt.core, rt.proc, va, true)
+	rt.k.Hierarchy().Write(rt.core, pa)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], val)
+	rt.k.Controller().Image().Write(pa, b[:])
+	if klat > 0 {
+		rt.cpu.Stall(klat) // page-fault / TLB-walk time
+	}
+	rt.cpu.Store(rt.storeOccupancy)
+}
+
+// LoadBytes reads n bytes starting at va, touching every block.
+func (rt *Runtime) LoadBytes(va addr.Virt, n int) []byte {
+	out := make([]byte, 0, n)
+	addr.BlockRange(va, n, func(blk addr.Virt, off, cnt int) {
+		pa, klat := rt.k.Translate(rt.core, rt.proc, blk+addr.Virt(off), false)
+		lat := klat + rt.k.Hierarchy().Read(rt.core, pa)
+		rt.cpu.Load(lat)
+		buf := make([]byte, cnt)
+		rt.k.Controller().Image().Read(pa, buf)
+		out = append(out, buf...)
+	})
+	return out
+}
+
+// StoreBytes writes data starting at va, touching every block.
+func (rt *Runtime) StoreBytes(va addr.Virt, data []byte) {
+	addr.BlockRange(va, len(data), func(blk addr.Virt, off, cnt int) {
+		pa, klat := rt.k.Translate(rt.core, rt.proc, blk+addr.Virt(off), true)
+		rt.k.Hierarchy().Write(rt.core, pa)
+		rt.k.Controller().Image().Write(pa, data[:cnt])
+		data = data[cnt:]
+		if klat > 0 {
+			rt.cpu.Stall(klat)
+		}
+		rt.cpu.Store(rt.storeOccupancy)
+	})
+}
+
+// Memset sets n bytes at va to b. Like glibc, it uses non-temporal
+// stores when the region exceeds the last-level cache (avoiding
+// pollution) and temporal stores otherwise. The instruction stream is
+// modeled as one 8-byte store per 8 bytes.
+func (rt *Runtime) Memset(va addr.Virt, b byte, n int) {
+	nt := n > rt.k.Hierarchy().Config().L4.Size
+	rt.memset(va, b, n, nt)
+}
+
+// MemsetNT is Memset with non-temporal stores regardless of size.
+func (rt *Runtime) MemsetNT(va addr.Virt, b byte, n int) {
+	rt.memset(va, b, n, true)
+}
+
+func (rt *Runtime) memset(va addr.Virt, b byte, n int, nonTemporal bool) {
+	nt := uint64(0)
+	if nonTemporal {
+		nt = 1
+	}
+	rt.emit(TraceMemset, va, uint64(n)<<9|nt<<8|uint64(b))
+	img := rt.k.Controller().Image()
+	pattern := make([]byte, addr.BlockSize)
+	for i := range pattern {
+		pattern[i] = b
+	}
+	addr.BlockRange(va, n, func(blk addr.Virt, off, cnt int) {
+		pa, klat := rt.k.Translate(rt.core, rt.proc, blk+addr.Virt(off), true)
+		if klat > 0 {
+			rt.cpu.Stall(klat)
+		}
+		if nonTemporal && off == 0 && cnt == addr.BlockSize {
+			img.Write(pa, pattern)
+			occ := rt.k.Hierarchy().WriteNonTemporal(pa)
+			rt.cpu.Store(occ)
+		} else {
+			rt.k.Hierarchy().Write(rt.core, pa)
+			img.Write(pa, pattern[:cnt])
+			rt.cpu.Store(rt.storeOccupancy)
+		}
+		// The remaining stores of the block are part of the unrolled
+		// loop: they retire without additional memory traffic.
+		extra := uint64((cnt + 7) / 8)
+		if extra > 1 {
+			rt.cpu.Compute(extra - 1)
+		}
+	})
+}
+
+// Memcpy copies n bytes from src to dst through the simulated memory
+// system (a load and a store per block).
+func (rt *Runtime) Memcpy(dst, src addr.Virt, n int) {
+	buf := rt.LoadBytes(src, n)
+	rt.StoreBytes(dst, buf)
+}
+
+// ShredRange asks the kernel to bulk-zero npages at va via the shred
+// syscall (§7.2 use case: user-level large data initialization).
+func (rt *Runtime) ShredRange(va addr.Virt, npages int) {
+	rt.emit(TraceShredRange, va, uint64(npages))
+	lat := rt.k.ShredRange(rt.core, rt.proc, va, npages)
+	rt.cpu.Stall(lat)
+}

@@ -1,0 +1,33 @@
+package cache
+
+import (
+	"testing"
+
+	"silentshredder/internal/addr"
+)
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(Config{Name: "b", Size: 64 << 10, Assoc: 8, HitLatency: 2})
+	c.Insert(0x40, Shared, false)
+	for i := 0; i < b.N; i++ {
+		c.Lookup(0x40)
+	}
+}
+
+func BenchmarkInsertWithEvictions(b *testing.B) {
+	c := New(Config{Name: "b", Size: 64 << 10, Assoc: 8, HitLatency: 2})
+	for i := 0; i < b.N; i++ {
+		c.Insert(addr.Phys(i)<<addr.BlockShift, Shared, i%2 == 0)
+	}
+}
+
+func BenchmarkInvalidatePage(b *testing.B) {
+	c := New(Config{Name: "b", Size: 1 << 20, Assoc: 8, HitLatency: 2})
+	for i := 0; i < b.N; i++ {
+		p := addr.PageNum(i % 64)
+		for j := 0; j < addr.BlocksPerPage; j += 8 {
+			c.Insert(p.BlockAddr(j), Shared, false)
+		}
+		c.InvalidatePage(p)
+	}
+}

@@ -1,0 +1,246 @@
+// Package cache implements the set-associative cache tag store used for
+// every level of the simulated hierarchy (Table 1: L1 64KB / L2 512KB /
+// L3 8MB / L4 64MB, all 8-way, 64B blocks) and for the counter cache.
+//
+// Caches here are timing/state models: they track presence, MESI state,
+// dirtiness and LRU order, while actual data contents live in the machine's
+// physical-memory image (see internal/physmem). That split keeps the cache
+// model small and lets timing-only experiments run without data storage.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/clock"
+	"silentshredder/internal/stats"
+)
+
+// State is a MESI coherence state.
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// Config describes one cache.
+type Config struct {
+	Name       string
+	Size       int // total bytes; must be a multiple of Assoc*BlockSize
+	Assoc      int
+	HitLatency clock.Cycles
+}
+
+// Line is one cache line's metadata.
+type Line struct {
+	Tag   uint64 // block address >> BlockShift
+	State State
+	Dirty bool
+	lru   uint64
+}
+
+// Addr returns the block address this line caches.
+func (l Line) Addr() addr.Phys { return addr.Phys(l.Tag) << addr.BlockShift }
+
+// Cache is a set-associative tag store with true-LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     [][]Line
+	setMask  uint64
+	useClock uint64
+
+	hits, misses, evictions, dirtyEvictions stats.Counter
+}
+
+// New creates a cache. It panics on a malformed geometry, since cache
+// geometry is static configuration.
+func New(cfg Config) *Cache {
+	if cfg.Assoc <= 0 || cfg.Size <= 0 || cfg.Size%(cfg.Assoc*addr.BlockSize) != 0 {
+		panic(fmt.Sprintf("cache %s: invalid geometry size=%d assoc=%d", cfg.Name, cfg.Size, cfg.Assoc))
+	}
+	nsets := cfg.Size / (cfg.Assoc * addr.BlockSize)
+	if bits.OnesCount(uint(nsets)) != 1 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, nsets))
+	}
+	sets := make([][]Line, nsets)
+	backing := make([]Line, nsets*cfg.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(nsets - 1)}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return len(c.sets) }
+
+func (c *Cache) set(a addr.Phys) []Line {
+	return c.sets[(uint64(a)>>addr.BlockShift)&c.setMask]
+}
+
+func tagOf(a addr.Phys) uint64 { return uint64(a) >> addr.BlockShift }
+
+// Lookup finds the line caching block a, counting a hit or miss and
+// refreshing LRU order on a hit. It returns nil on a miss. The returned
+// pointer stays valid until the line is replaced; callers may update
+// State and Dirty through it.
+func (c *Cache) Lookup(a addr.Phys) *Line {
+	if l := c.Probe(a); l != nil {
+		c.hits.Inc()
+		c.useClock++
+		l.lru = c.useClock
+		return l
+	}
+	c.misses.Inc()
+	return nil
+}
+
+// Probe finds the line caching block a without touching statistics or LRU
+// order. Coherence-directory and invalidation paths use it.
+func (c *Cache) Probe(a addr.Phys) *Line {
+	tag := tagOf(a)
+	set := c.set(a)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Insert allocates a line for block a in the given state, evicting the LRU
+// line of the set if necessary. It returns the evicted line metadata (for
+// writeback handling) and whether an eviction happened. Inserting a block
+// that is already present just updates its state.
+func (c *Cache) Insert(a addr.Phys, st State, dirty bool) (victim Line, evicted bool) {
+	if l := c.Probe(a); l != nil {
+		l.State = st
+		l.Dirty = l.Dirty || dirty
+		c.useClock++
+		l.lru = c.useClock
+		return Line{}, false
+	}
+	set := c.set(a)
+	vi := 0
+	for i := range set {
+		if set[i].State == Invalid {
+			vi = i
+			break
+		}
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	if set[vi].State != Invalid {
+		victim, evicted = set[vi], true
+		c.evictions.Inc()
+		if victim.Dirty {
+			c.dirtyEvictions.Inc()
+		}
+	}
+	c.useClock++
+	set[vi] = Line{Tag: tagOf(a), State: st, Dirty: dirty, lru: c.useClock}
+	return victim, evicted
+}
+
+// Invalidate removes block a if present, returning the removed line
+// metadata (so the caller can decide about writeback) and whether it was
+// present.
+func (c *Cache) Invalidate(a addr.Phys) (Line, bool) {
+	if l := c.Probe(a); l != nil {
+		old := *l
+		l.State = Invalid
+		l.Dirty = false
+		return old, true
+	}
+	return Line{}, false
+}
+
+// InvalidatePage removes all 64 blocks of page p, returning the lines that
+// were present. Shred commands use this (paper Figure 6, step 2).
+func (c *Cache) InvalidatePage(p addr.PageNum) []Line {
+	var out []Line
+	for i := 0; i < addr.BlocksPerPage; i++ {
+		if l, ok := c.Invalidate(p.BlockAddr(i)); ok {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// FlushAll invalidates every line, returning the dirty ones (their
+// addresses are recoverable via Line.Addr). Used to model crashes and
+// explicit cache flushes.
+func (c *Cache) FlushAll() []Line {
+	var dirty []Line
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].State != Invalid && set[i].Dirty {
+				dirty = append(dirty, set[i])
+			}
+			set[i] = Line{}
+		}
+	}
+	return dirty
+}
+
+// Hits returns the hit count.
+func (c *Cache) Hits() uint64 { return c.hits.Value() }
+
+// Misses returns the miss count.
+func (c *Cache) Misses() uint64 { return c.misses.Value() }
+
+// Evictions returns the total evictions.
+func (c *Cache) Evictions() uint64 { return c.evictions.Value() }
+
+// DirtyEvictions returns evictions of dirty lines.
+func (c *Cache) DirtyEvictions() uint64 { return c.dirtyEvictions.Value() }
+
+// MissRate returns misses/(hits+misses), or 0 with no accesses.
+func (c *Cache) MissRate() float64 {
+	tot := c.hits.Value() + c.misses.Value()
+	if tot == 0 {
+		return 0
+	}
+	return float64(c.misses.Value()) / float64(tot)
+}
+
+// ResetStats clears access statistics without disturbing contents.
+func (c *Cache) ResetStats() {
+	c.hits.Reset()
+	c.misses.Reset()
+	c.evictions.Reset()
+	c.dirtyEvictions.Reset()
+}
+
+// StatsSet exposes the cache statistics under its configured name.
+func (c *Cache) StatsSet() *stats.Set {
+	s := stats.NewSet(c.cfg.Name)
+	s.RegisterCounter("hits", &c.hits)
+	s.RegisterCounter("misses", &c.misses)
+	s.RegisterCounter("evictions", &c.evictions)
+	s.RegisterCounter("dirty_evictions", &c.dirtyEvictions)
+	s.RegisterFunc("miss_rate", c.MissRate)
+	return s
+}

@@ -1,0 +1,27 @@
+// Package clock defines the simulator's notion of time. All latencies are
+// expressed in CPU cycles at the configured core frequency (2GHz in the
+// paper's Table 1 configuration), so that a 75ns NVM read costs 150 cycles
+// and a 150ns NVM write costs 300 cycles.
+package clock
+
+// Cycles is a duration or timestamp measured in CPU clock cycles.
+type Cycles uint64
+
+// FrequencyHz is the modeled core clock (Table 1: 2GHz).
+const FrequencyHz = 2_000_000_000
+
+// FromNs converts a duration in nanoseconds to cycles, rounding to the
+// nearest cycle.
+func FromNs(ns float64) Cycles {
+	return Cycles(ns*FrequencyHz/1e9 + 0.5)
+}
+
+// Ns converts a cycle count to nanoseconds.
+func (c Cycles) Ns() float64 {
+	return float64(c) * 1e9 / FrequencyHz
+}
+
+// Seconds converts a cycle count to seconds.
+func (c Cycles) Seconds() float64 {
+	return float64(c) / FrequencyHz
+}

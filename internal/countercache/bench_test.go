@@ -1,0 +1,28 @@
+package countercache
+
+import (
+	"testing"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/nvm"
+)
+
+func BenchmarkGetHit(b *testing.B) {
+	cc := New(DefaultConfig(), nvm.New(nvm.DefaultConfig()))
+	cc.Get(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.Get(1)
+	}
+}
+
+func BenchmarkGetMissEvict(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Size = 16 << 10
+	cc := New(cfg, nvm.New(nvm.DefaultConfig()))
+	for i := 0; i < b.N; i++ {
+		cb, _, _ := cc.Get(addr.PageNum(i))
+		cb.Shred()
+		cc.MarkDirty(addr.PageNum(i))
+	}
+}

@@ -1,0 +1,287 @@
+// Package countercache implements the on-chip cache of encryption counter
+// blocks (the "IV cache" of the paper's Figure 2 and §6.4).
+//
+// One 64-byte counter block per 4KB page holds the page's 64-bit major
+// counter and 64 seven-bit minor counters. Counter blocks live in a
+// reserved region of the NVM; this cache keeps the hot ones on chip so pad
+// generation can start immediately (the paper sizes it at 4MB, 8-way,
+// 10-cycle hits — the knee of the miss-rate curve in Figure 12).
+//
+// Persistence (paper §4.3/§7.1): the cache is either write-back and
+// battery-backed (dirty counters are flushed on power loss) or
+// write-through (every counter update is immediately propagated to NVM).
+// Crash simulates both: an unflushed write-back cache without a battery
+// loses counter updates, which the integration tests use to demonstrate
+// why persistence of the counters is a correctness requirement for
+// shredding.
+package countercache
+
+import (
+	"silentshredder/internal/addr"
+	"silentshredder/internal/cache"
+	"silentshredder/internal/clock"
+	"silentshredder/internal/ctr"
+	"silentshredder/internal/nvm"
+	"silentshredder/internal/stats"
+)
+
+// RegionBase is the base physical address of the counter region in NVM.
+// It sits far above any address the page allocator hands out, so counter
+// traffic and data traffic are distinguishable in the device statistics.
+const RegionBase addr.Phys = 1 << 46
+
+// Config describes the counter cache.
+type Config struct {
+	Size          int          // bytes (Table 1: 4MB)
+	Assoc         int          // ways (Table 1: 8)
+	HitLatency    clock.Cycles // Table 1: 10 cycles
+	WriteThrough  bool         // false: write-back (assumed battery-backed)
+	BatteryBacked bool         // write-back only: flush dirty counters on power loss
+
+	// PrefetchNext fetches page p+1's counter block alongside a miss on
+	// page p. Initialization phases sweep pages sequentially, so the
+	// next counter block is almost always wanted; the prefetch is off
+	// the critical path (it overlaps the demand fetch).
+	PrefetchNext bool
+}
+
+// DefaultConfig returns the paper's Table 1 counter-cache configuration.
+func DefaultConfig() Config {
+	return Config{Size: 4 << 20, Assoc: 8, HitLatency: 10, BatteryBacked: true}
+}
+
+// Cache is the counter cache plus its NVM-resident backing region.
+type Cache struct {
+	cfg    Config
+	tags   *cache.Cache
+	cached map[addr.PageNum]*ctr.CounterBlock // contents of resident lines
+	region map[addr.PageNum]ctr.CounterBlock  // NVM-resident (persistent) values
+	dev    *nvm.Device
+
+	fetches, writebacks, writeThroughs stats.Counter
+	prefetches                         stats.Counter
+}
+
+// New creates a counter cache backed by dev (counter fetch/writeback
+// traffic is issued to dev at RegionBase-relative addresses).
+func New(cfg Config, dev *nvm.Device) *Cache {
+	return &Cache{
+		cfg: cfg,
+		tags: cache.New(cache.Config{
+			Name:       "ctrcache",
+			Size:       cfg.Size,
+			Assoc:      cfg.Assoc,
+			HitLatency: cfg.HitLatency,
+		}),
+		cached: make(map[addr.PageNum]*ctr.CounterBlock),
+		region: make(map[addr.PageNum]ctr.CounterBlock),
+		dev:    dev,
+	}
+}
+
+// Config returns the configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func ctrAddr(p addr.PageNum) addr.Phys {
+	return RegionBase + addr.Phys(p)<<addr.BlockShift
+}
+
+func pageOfCtrAddr(a addr.Phys) addr.PageNum {
+	return addr.PageNum((a - RegionBase) >> addr.BlockShift)
+}
+
+// Get returns the counter block for page p and the latency to obtain it.
+// On a miss the block is fetched from the counter region in NVM (counted
+// as a device read) and inserted, possibly writing back a dirty victim.
+// The returned pointer is the live cached copy: mutations through it must
+// be followed by MarkDirty.
+func (c *Cache) Get(p addr.PageNum) (*ctr.CounterBlock, clock.Cycles, bool) {
+	if c.tags.Lookup(ctrAddr(p)) != nil {
+		return c.cached[p], c.cfg.HitLatency, true
+	}
+	// Miss: fetch from NVM.
+	c.fetches.Inc()
+	lat := c.cfg.HitLatency + c.dev.ReadBlock(ctrAddr(p), nil)
+	cb := c.region[p] // zero value = fresh page (major 0, all minors 0)
+	copyCB := cb
+	c.install(p, &copyCB, false)
+	if c.cfg.PrefetchNext {
+		if next := p + 1; c.tags.Probe(ctrAddr(next)) == nil {
+			c.prefetches.Inc()
+			c.dev.ReadBlock(ctrAddr(next), nil) // overlapped: no latency charged
+			nb := c.region[next]
+			c.install(next, &nb, false)
+		}
+	}
+	return c.cached[p], lat, false
+}
+
+// install inserts page p's counter block, handling victim writeback.
+func (c *Cache) install(p addr.PageNum, cb *ctr.CounterBlock, dirty bool) {
+	victim, evicted := c.tags.Insert(ctrAddr(p), cache.Exclusive, dirty)
+	if evicted {
+		vp := pageOfCtrAddr(victim.Addr())
+		if victim.Dirty {
+			c.writebackPage(vp)
+		}
+		delete(c.cached, vp)
+	}
+	c.cached[p] = cb
+}
+
+func (c *Cache) writebackPage(p addr.PageNum) {
+	cb, ok := c.cached[p]
+	if !ok {
+		return
+	}
+	c.region[p] = *cb
+	c.writebacks.Inc()
+	enc := cb.Encode()
+	c.dev.WriteBlock(ctrAddr(p), enc[:])
+}
+
+// MarkDirty records that page p's cached counter block was mutated. In
+// write-through mode the update is immediately propagated to NVM (the
+// write is posted, so no latency is charged to the caller); in write-back
+// mode the line is marked dirty and written back on eviction or flush.
+func (c *Cache) MarkDirty(p addr.PageNum) {
+	l := c.tags.Probe(ctrAddr(p))
+	if l == nil {
+		return // not resident; nothing to persist (caller must hold a Get'd block)
+	}
+	if c.cfg.WriteThrough {
+		c.writeThroughs.Inc()
+		if cb, ok := c.cached[p]; ok {
+			c.region[p] = *cb
+			enc := cb.Encode()
+			c.dev.WriteBlock(ctrAddr(p), enc[:])
+		}
+		return
+	}
+	l.Dirty = true
+}
+
+// Invalidate drops page p's counter block from the cache, writing it back
+// first if dirty. Shredding invalidates remote counter caches this way
+// (paper Figure 6, step 2).
+func (c *Cache) Invalidate(p addr.PageNum) {
+	l, ok := c.tags.Invalidate(ctrAddr(p))
+	if !ok {
+		return
+	}
+	if l.Dirty {
+		c.writebackPage(p)
+	}
+	delete(c.cached, p)
+}
+
+// Flush writes back every dirty counter block, leaving contents resident
+// but clean. A clean shutdown (or the battery on power loss) does this.
+func (c *Cache) Flush() {
+	for p := range c.cached {
+		if l := c.tags.Probe(ctrAddr(p)); l != nil && l.Dirty {
+			c.writebackPage(p)
+			l.Dirty = false
+		}
+	}
+}
+
+// Crash models sudden power loss: with a battery (or in write-through
+// mode) dirty counters reach NVM; otherwise they are lost and the
+// NVM-resident values are what the system reboots with. The cache is
+// emptied either way.
+func (c *Cache) Crash() {
+	if c.cfg.WriteThrough || c.cfg.BatteryBacked {
+		c.Flush()
+	}
+	c.tags.FlushAll()
+	c.cached = make(map[addr.PageNum]*ctr.CounterBlock)
+}
+
+// Peek returns the architecturally current counter block value for page p
+// (cached copy if resident, else the NVM-resident value) without modeling
+// an access. Tests and the integrity layer use it.
+func (c *Cache) Peek(p addr.PageNum) ctr.CounterBlock {
+	if cb, ok := c.cached[p]; ok {
+		return *cb
+	}
+	return c.region[p]
+}
+
+// PersistedValue returns the NVM-resident counter block for page p,
+// ignoring any dirty cached copy. After Crash without a battery this is
+// the state the system sees.
+func (c *Cache) PersistedValue(p addr.PageNum) ctr.CounterBlock { return c.region[p] }
+
+// SnapshotRegion exports the NVM-resident counter region (checkpointing).
+func (c *Cache) SnapshotRegion() map[addr.PageNum]ctr.CounterBlock {
+	out := make(map[addr.PageNum]ctr.CounterBlock, len(c.region))
+	for p, cb := range c.region {
+		out[p] = cb
+	}
+	return out
+}
+
+// RestoreRegion replaces the counter region and empties the cache (a
+// restored machine boots with cold counter caches).
+func (c *Cache) RestoreRegion(region map[addr.PageNum]ctr.CounterBlock) {
+	c.region = make(map[addr.PageNum]ctr.CounterBlock, len(region))
+	for p, cb := range region {
+		c.region[p] = cb
+	}
+	c.tags.FlushAll()
+	c.cached = make(map[addr.PageNum]*ctr.CounterBlock)
+}
+
+// TamperPersisted overwrites page p's NVM-resident counter block without
+// any of the controller's bookkeeping — the §7.1 attack where an
+// adversary with physical access rolls counters back or forges them. The
+// integrity tree (when enabled) must catch the next fetch.
+func (c *Cache) TamperPersisted(p addr.PageNum, cb ctr.CounterBlock) {
+	c.region[p] = cb
+}
+
+// ForEachPersisted calls fn for every page with an NVM-resident counter
+// block. Crash recovery uses it to find pages whose state is encoded only
+// in the counters (e.g. shredded pages that were never written back).
+func (c *Cache) ForEachPersisted(fn func(p addr.PageNum, cb ctr.CounterBlock)) {
+	for p, cb := range c.region {
+		fn(p, cb)
+	}
+}
+
+// MissRate returns the tag-store miss rate.
+func (c *Cache) MissRate() float64 { return c.tags.MissRate() }
+
+// Hits returns tag-store hits.
+func (c *Cache) Hits() uint64 { return c.tags.Hits() }
+
+// Misses returns tag-store misses.
+func (c *Cache) Misses() uint64 { return c.tags.Misses() }
+
+// Prefetches returns next-page counter prefetches issued.
+func (c *Cache) Prefetches() uint64 { return c.prefetches.Value() }
+
+// Writebacks returns dirty counter-block writebacks to NVM.
+func (c *Cache) Writebacks() uint64 { return c.writebacks.Value() }
+
+// ResetStats clears access statistics, leaving contents intact.
+func (c *Cache) ResetStats() {
+	c.tags.ResetStats()
+	c.fetches.Reset()
+	c.writebacks.Reset()
+	c.writeThroughs.Reset()
+}
+
+// StatsSet exposes counter-cache statistics.
+func (c *Cache) StatsSet() *stats.Set {
+	s := stats.NewSet("ctrcache")
+	s.RegisterFunc("hits", func() float64 { return float64(c.tags.Hits()) })
+	s.RegisterFunc("misses", func() float64 { return float64(c.tags.Misses()) })
+	s.RegisterFunc("miss_rate", c.MissRate)
+	s.RegisterCounter("fetches", &c.fetches)
+	s.RegisterCounter("writebacks", &c.writebacks)
+	s.RegisterCounter("write_throughs", &c.writeThroughs)
+	s.RegisterCounter("prefetches", &c.prefetches)
+	return s
+}

@@ -1,0 +1,254 @@
+package countercache
+
+import (
+	"testing"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/ctr"
+	"silentshredder/internal/nvm"
+)
+
+func newCC(t *testing.T, cfg Config) (*Cache, *nvm.Device) {
+	t.Helper()
+	dev := nvm.New(nvm.DefaultConfig())
+	return New(cfg, dev), dev
+}
+
+func smallCfg() Config {
+	// 2 sets x 2 ways: pages 0..3 fill it, page 4 evicts.
+	return Config{Size: 256, Assoc: 2, HitLatency: 10, BatteryBacked: true}
+}
+
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Size != 4<<20 || cfg.Assoc != 8 || cfg.HitLatency != 10 {
+		t.Fatalf("config = %+v", cfg)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	cc, dev := newCC(t, smallCfg())
+	cb, lat, hit := cc.Get(7)
+	if hit {
+		t.Fatal("first access must miss")
+	}
+	if lat != 10+150 {
+		t.Fatalf("miss latency = %d, want 160", lat)
+	}
+	if cb.Major != 0 {
+		t.Fatal("fresh counter block must be zero")
+	}
+	if dev.Reads() != 1 {
+		t.Fatalf("device reads = %d", dev.Reads())
+	}
+	_, lat, hit = cc.Get(7)
+	if !hit || lat != 10 {
+		t.Fatalf("second access: hit=%v lat=%d", hit, lat)
+	}
+}
+
+func TestMutationVisibleThroughCache(t *testing.T) {
+	cc, _ := newCC(t, smallCfg())
+	cb, _, _ := cc.Get(1)
+	cb.Shred()
+	cc.MarkDirty(1)
+	got := cc.Peek(1)
+	if got.Major != 1 || !got.Shredded(0) {
+		t.Fatalf("Peek = %+v", got)
+	}
+}
+
+func TestDirtyEvictionPersists(t *testing.T) {
+	cc, dev := newCC(t, smallCfg())
+	cb, _, _ := cc.Get(0)
+	cb.Major = 42
+	cc.MarkDirty(0)
+	// Pages mapping to set 0: counter addresses stride by 64B; with 2 sets,
+	// even pages share set 0. Fill with pages 2 and 4 to evict page 0.
+	cc.Get(2)
+	cc.Get(4)
+	if cc.Writebacks() != 1 {
+		t.Fatalf("writebacks = %d", cc.Writebacks())
+	}
+	if got := cc.PersistedValue(0); got.Major != 42 {
+		t.Fatalf("persisted Major = %d", got.Major)
+	}
+	if dev.Writes() != 1 {
+		t.Fatalf("device writes = %d", dev.Writes())
+	}
+	// Re-fetch must see persisted value.
+	cb0, _, hit := cc.Get(0)
+	if hit {
+		t.Fatal("page 0 must have been evicted")
+	}
+	if cb0.Major != 42 {
+		t.Fatalf("refetched Major = %d", cb0.Major)
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	cc, dev := newCC(t, smallCfg())
+	cc.Get(0)
+	cc.Get(2)
+	cc.Get(4) // evicts clean line
+	if cc.Writebacks() != 0 || dev.Writes() != 0 {
+		t.Fatal("clean eviction must not write back")
+	}
+}
+
+func TestWriteThrough(t *testing.T) {
+	cfg := smallCfg()
+	cfg.WriteThrough = true
+	cc, dev := newCC(t, cfg)
+	cb, _, _ := cc.Get(3)
+	cb.Shred()
+	cc.MarkDirty(3)
+	if dev.Writes() != 1 {
+		t.Fatalf("write-through must write immediately, writes=%d", dev.Writes())
+	}
+	if got := cc.PersistedValue(3); got.Major != 1 {
+		t.Fatalf("persisted Major = %d", got.Major)
+	}
+	// Crash loses nothing.
+	cc.Crash()
+	if got := cc.PersistedValue(3); got.Major != 1 {
+		t.Fatal("write-through state lost on crash")
+	}
+}
+
+func TestCrashWithBatteryFlushes(t *testing.T) {
+	cc, _ := newCC(t, smallCfg())
+	cb, _, _ := cc.Get(5)
+	cb.Shred()
+	cc.MarkDirty(5)
+	cc.Crash()
+	if got := cc.PersistedValue(5); got.Major != 1 {
+		t.Fatal("battery-backed crash must flush dirty counters")
+	}
+	if cc.Peek(5).Major != 1 {
+		t.Fatal("post-crash Peek must read persisted value")
+	}
+}
+
+func TestCrashWithoutBatteryLosesDirtyCounters(t *testing.T) {
+	cfg := smallCfg()
+	cfg.BatteryBacked = false
+	cc, _ := newCC(t, cfg)
+	cb, _, _ := cc.Get(5)
+	cb.Shred()
+	cc.MarkDirty(5)
+	cc.Crash()
+	if got := cc.PersistedValue(5); got.Major != 0 {
+		t.Fatal("unbatteried write-back crash must lose the shred")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	cc, _ := newCC(t, smallCfg())
+	cb, _, _ := cc.Get(9)
+	cb.Major = 7
+	cc.MarkDirty(9)
+	cc.Invalidate(9)
+	if got := cc.PersistedValue(9); got.Major != 7 {
+		t.Fatal("invalidate must write back dirty block")
+	}
+	_, _, hit := cc.Get(9)
+	if hit {
+		t.Fatal("invalidated block must miss")
+	}
+	cc.Invalidate(1234) // absent: no-op
+}
+
+func TestFlushKeepsContentsResident(t *testing.T) {
+	cc, _ := newCC(t, smallCfg())
+	cb, _, _ := cc.Get(1)
+	cb.Major = 3
+	cc.MarkDirty(1)
+	cc.Flush()
+	if cc.PersistedValue(1).Major != 3 {
+		t.Fatal("flush must persist")
+	}
+	_, _, hit := cc.Get(1)
+	if !hit {
+		t.Fatal("flush must keep lines resident")
+	}
+	wb := cc.Writebacks()
+	cc.Flush() // now clean: no further writebacks
+	if cc.Writebacks() != wb {
+		t.Fatal("flushing clean cache must be a no-op")
+	}
+}
+
+func TestMarkDirtyNonResidentIsNoop(t *testing.T) {
+	cc, dev := newCC(t, smallCfg())
+	cc.MarkDirty(999)
+	if dev.Writes() != 0 {
+		t.Fatal("MarkDirty on non-resident page must be a no-op")
+	}
+}
+
+func TestMissRateAndStats(t *testing.T) {
+	cc, _ := newCC(t, smallCfg())
+	cc.Get(0)
+	cc.Get(0)
+	if got := cc.MissRate(); got != 0.5 {
+		t.Fatalf("MissRate = %v", got)
+	}
+	if cc.Hits() != 1 || cc.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d", cc.Hits(), cc.Misses())
+	}
+	s := cc.StatsSet()
+	if v, ok := s.Get("fetches"); !ok || v != 1 {
+		t.Fatalf("fetches stat = %v %v", v, ok)
+	}
+	cc.ResetStats()
+	if cc.Hits() != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+// The counter region must persist full minor state, not just majors.
+func TestMinorCountersPersistRoundTrip(t *testing.T) {
+	cc, _ := newCC(t, smallCfg())
+	cb, _, _ := cc.Get(2)
+	for i := 0; i < addr.BlocksPerPage; i++ {
+		cb.Minor[i] = uint8((i*3 + 1) % (ctr.MinorMax + 1))
+	}
+	cc.MarkDirty(2)
+	cc.Flush()
+	got := cc.PersistedValue(2)
+	if got != *cb {
+		t.Fatal("persisted minors differ from cached")
+	}
+}
+
+func TestPrefetchNextCutsSequentialMisses(t *testing.T) {
+	run := func(prefetch bool) (misses uint64) {
+		cfg := Config{Size: 64 << 10, Assoc: 8, HitLatency: 10, BatteryBacked: true, PrefetchNext: prefetch}
+		cc := New(cfg, nvm.New(nvm.DefaultConfig()))
+		for p := addr.PageNum(0); p < 256; p++ {
+			cc.Get(p) // sequential page sweep (an init phase)
+		}
+		return cc.Misses()
+	}
+	plain, pref := run(false), run(true)
+	if plain != 256 {
+		t.Fatalf("baseline misses = %d", plain)
+	}
+	if pref*2 > plain+2 {
+		t.Fatalf("prefetch misses = %d, want ~half of %d", pref, plain)
+	}
+	// Mutations through a prefetch-enabled cache still persist normally.
+	cfg := Config{Size: 64 << 10, Assoc: 8, HitLatency: 10, BatteryBacked: true, PrefetchNext: true}
+	cc := New(cfg, nvm.New(nvm.DefaultConfig()))
+	cb, _, _ := cc.Get(5)
+	cb.Shred()
+	cc.MarkDirty(5)
+	cc.Flush()
+	if cc.Prefetches() == 0 {
+		t.Fatal("prefetches not counted")
+	}
+	if got := cc.PersistedValue(5); got.Major != 1 {
+		t.Fatalf("mutation through prefetch-enabled cache lost: %+v", got.Major)
+	}
+}

@@ -1,0 +1,216 @@
+// Package ctr implements the counter-mode memory-encryption engine used by
+// the secure NVMM controller (paper §2.2, Figure 2).
+//
+// Every 4KB page has a counter block holding one 64-bit major counter and
+// 64 seven-bit minor counters, one per 64-byte cache block. The counter
+// block itself is exactly 64 bytes (8 + 64*7/8 = 8 + 56), so it occupies a
+// single cache line in the counter cache — the layout from Yan et al.
+// adopted by the paper.
+//
+// A cache block's initialization vector (IV) combines the page's unique ID,
+// the block's offset within the page, the page's major counter and the
+// block's minor counter. Encrypting the IV with the memory key produces a
+// one-time pad; data is encrypted and decrypted by XORing with the pad.
+// Spatial uniqueness comes from pageID+offset, temporal uniqueness from the
+// counters: every write back increments the block's minor counter so a pad
+// is never reused.
+//
+// Silent Shredder reserves minor-counter value 0 to mean "shredded": the
+// block has no valid ciphertext and reads return a zero-filled block
+// (paper §4.2, option three). Consequently minor counters used for real
+// data run from 1 to 127, and an overflow past 127 triggers page
+// re-encryption rather than wrapping to the reserved value.
+package ctr
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/aes"
+)
+
+// Minor-counter constants (7-bit counters, value 0 reserved as "shredded").
+const (
+	MinorBits     = 7
+	MinorMax      = 1<<MinorBits - 1 // 127
+	MinorShredded = 0                // reserved: block reads as zeros
+	MinorFirst    = 1                // value after the first post-shred write
+)
+
+// CounterBlockSize is the encoded size of a page's counter block in bytes.
+const CounterBlockSize = addr.BlockSize
+
+// CounterBlock is the per-page encryption state: a major counter shared by
+// the whole page and a minor counter per 64B block.
+type CounterBlock struct {
+	Major uint64
+	Minor [addr.BlocksPerPage]uint8 // 7-bit values, 0 = shredded
+}
+
+// Shred applies Silent Shredder's page shred: the major counter is
+// incremented (changing every block's IV, which renders the existing
+// ciphertext undecipherable) and all minor counters are reset to the
+// reserved shredded value so subsequent reads return zero-filled blocks.
+func (cb *CounterBlock) Shred() {
+	cb.Major++
+	for i := range cb.Minor {
+		cb.Minor[i] = MinorShredded
+	}
+}
+
+// Reencrypt applies the page re-encryption counter update: the major
+// counter is incremented and all minor counters reset to MinorFirst (not
+// the reserved 0 — paper §4.2). The caller is responsible for actually
+// rewriting the page's blocks under the new IVs.
+func (cb *CounterBlock) Reencrypt() {
+	cb.Major++
+	for i := range cb.Minor {
+		cb.Minor[i] = MinorFirst
+	}
+}
+
+// BumpMinor advances block i's minor counter for a write back and reports
+// whether it overflowed. On overflow the counter state is untouched; the
+// caller must perform page re-encryption (Reencrypt) and then re-issue the
+// write. A shredded block's first write moves its counter to MinorFirst.
+func (cb *CounterBlock) BumpMinor(i int) (overflow bool) {
+	if cb.Minor[i] >= MinorMax {
+		return true
+	}
+	cb.Minor[i]++
+	return false
+}
+
+// Shredded reports whether block i is in the shredded state.
+func (cb *CounterBlock) Shredded(i int) bool { return cb.Minor[i] == MinorShredded }
+
+// Encode packs the counter block into its 64-byte memory representation:
+// 8 bytes of major counter followed by 64 seven-bit minor counters packed
+// into 56 bytes.
+func (cb *CounterBlock) Encode() [CounterBlockSize]byte {
+	var out [CounterBlockSize]byte
+	binary.LittleEndian.PutUint64(out[:8], cb.Major)
+	// Pack minors 7 bits at a time into out[8:64].
+	bitPos := 0
+	for _, m := range cb.Minor {
+		byteIdx := 8 + bitPos/8
+		bitOff := bitPos % 8
+		v := uint16(m&MinorMax) << bitOff
+		out[byteIdx] |= byte(v)
+		if bitOff > 1 { // spills into the next byte
+			out[byteIdx+1] |= byte(v >> 8)
+		}
+		bitPos += MinorBits
+	}
+	return out
+}
+
+// DecodeCounterBlock unpacks a 64-byte counter block representation.
+func DecodeCounterBlock(raw [CounterBlockSize]byte) CounterBlock {
+	var cb CounterBlock
+	cb.Major = binary.LittleEndian.Uint64(raw[:8])
+	bitPos := 0
+	for i := range cb.Minor {
+		byteIdx := 8 + bitPos/8
+		bitOff := bitPos % 8
+		v := uint16(raw[byteIdx]) >> bitOff
+		if bitOff > 1 {
+			v |= uint16(raw[byteIdx+1]) << (8 - bitOff)
+		}
+		cb.Minor[i] = uint8(v & MinorMax)
+		bitPos += MinorBits
+	}
+	return cb
+}
+
+// IV is the 16-byte initialization vector for one 16-byte pad chunk.
+//
+// Layout (16 bytes, the AES block size):
+//
+//	bytes 0..5   page ID (48 bits — unique across memory and swap)
+//	byte  6      block index within page (6 bits) | pad-chunk index (2 bits)
+//	byte  7      minor counter (7 bits)
+//	bytes 8..15  major counter (64 bits)
+//
+// A 64-byte cache block needs four 16-byte pad chunks; the chunk index
+// keeps their IVs distinct. None of the IV is secret (paper §2.2) — only
+// the key is.
+type IV [aes.BlockSize]byte
+
+// MakeIV constructs the IV for pad chunk `chunk` (0..3) of the given block.
+func MakeIV(page addr.PageNum, blockIdx int, major uint64, minor uint8, chunk int) IV {
+	if blockIdx < 0 || blockIdx >= addr.BlocksPerPage {
+		panic(fmt.Sprintf("ctr: block index %d out of range", blockIdx))
+	}
+	if chunk < 0 || chunk >= addr.BlockSize/aes.BlockSize {
+		panic(fmt.Sprintf("ctr: pad chunk %d out of range", chunk))
+	}
+	var iv IV
+	binary.LittleEndian.PutUint64(iv[0:8], uint64(page)&0xFFFF_FFFF_FFFF)
+	iv[6] = byte(blockIdx<<2 | chunk)
+	iv[7] = minor & MinorMax
+	binary.LittleEndian.PutUint64(iv[8:16], major)
+	return iv
+}
+
+// Engine turns IVs into pads and applies them to cache blocks. It is the
+// cryptographic half of the secure memory controller; it holds the single
+// system-wide memory key (the paper's design deliberately shares one key —
+// §4.2 discusses why per-process keys are impractical).
+type Engine struct {
+	cipher *aes.Cipher
+}
+
+// NewEngine creates an engine from a 16-, 24- or 32-byte memory key.
+func NewEngine(key []byte) (*Engine, error) {
+	c, err := aes.New(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cipher: c}, nil
+}
+
+// Pad computes the 64-byte one-time pad for a block under the given
+// counters.
+func (e *Engine) Pad(page addr.PageNum, blockIdx int, major uint64, minor uint8) [addr.BlockSize]byte {
+	var pad [addr.BlockSize]byte
+	for chunk := 0; chunk < addr.BlockSize/aes.BlockSize; chunk++ {
+		iv := MakeIV(page, blockIdx, major, minor, chunk)
+		e.cipher.Encrypt(pad[chunk*aes.BlockSize:], iv[:])
+	}
+	return pad
+}
+
+// PadChunk computes one 16-byte pad chunk (chunk 0..3) of a block's pad.
+// Schemes that encrypt sub-block regions under different counters (e.g.
+// DEUCE) use it to avoid generating the chunks they do not need.
+func (e *Engine) PadChunk(page addr.PageNum, blockIdx int, major uint64, minor uint8, chunk int) [aes.BlockSize]byte {
+	var pad [aes.BlockSize]byte
+	iv := MakeIV(page, blockIdx, major, minor, chunk)
+	e.cipher.Encrypt(pad[:], iv[:])
+	return pad
+}
+
+// Apply XORs the pad for (page, blockIdx, major, minor) into the 64-byte
+// block in buf. Because XOR is an involution the same call both encrypts
+// and decrypts; naming both operations makes call sites readable.
+func (e *Engine) Apply(buf []byte, page addr.PageNum, blockIdx int, major uint64, minor uint8) {
+	if len(buf) < addr.BlockSize {
+		panic("ctr: buffer shorter than a block")
+	}
+	pad := e.Pad(page, blockIdx, major, minor)
+	for i := 0; i < addr.BlockSize; i++ {
+		buf[i] ^= pad[i]
+	}
+}
+
+// Encrypt encrypts a 64-byte plaintext block in place.
+func (e *Engine) Encrypt(buf []byte, page addr.PageNum, blockIdx int, major uint64, minor uint8) {
+	e.Apply(buf, page, blockIdx, major, minor)
+}
+
+// Decrypt decrypts a 64-byte ciphertext block in place.
+func (e *Engine) Decrypt(buf []byte, page addr.PageNum, blockIdx int, major uint64, minor uint8) {
+	e.Apply(buf, page, blockIdx, major, minor)
+}

@@ -1,0 +1,387 @@
+package exper
+
+import (
+	"math/rand"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/kernel"
+	"silentshredder/internal/memctrl"
+	"silentshredder/internal/nvm"
+	"silentshredder/internal/sim"
+	"silentshredder/internal/stats"
+)
+
+// AblationIVRow measures one §4.2 IV-manipulation alternative.
+type AblationIVRow struct {
+	Option        string
+	Reencryptions uint64 // page re-encryptions triggered
+	NVMWrites     uint64 // total device writes
+	ReadsAreZero  bool   // software compatibility: shredded pages read as zeros
+}
+
+// AblationIV compares the three shred encodings under a reuse-heavy
+// workload: pages are repeatedly shredded and sparsely rewritten, which
+// is exactly what ages minor counters. Option one (increment minors)
+// pays with re-encryptions; option two breaks read-zeros semantics;
+// option three (Silent Shredder) does neither.
+func AblationIV(o Options) []AblationIVRow {
+	o = o.normalized()
+	// Enough shred/rewrite cycles to age 7-bit minor counters past
+	// their 127 limit under option one.
+	cycles := 140
+	pages := 16
+	if o.Quick {
+		cycles, pages = 135, 4
+	}
+	var out []AblationIVRow
+	for _, opt := range []memctrl.ShredOption{
+		memctrl.OptionIncMinors, memctrl.OptionIncMajor, memctrl.OptionReserveZero,
+	} {
+		cfg := sim.ScaledConfig(memctrl.SilentShredder, kernel.ZeroShred, 64)
+		cfg.Hier.Cores = 1
+		cfg.MemPages = 1 << 14
+		cfg.MemCtrl.Shred = opt
+		m := sim.MustNew(cfg)
+		rt := m.Runtime(0)
+
+		// Shred/rewrite churn: the kernel-page-reuse pattern.
+		va := rt.Malloc(pages * addr.PageSize)
+		for c := 0; c < cycles; c++ {
+			for p := 0; p < pages; p++ {
+				base := va + addr.Virt(p*addr.PageSize)
+				// Touch a few blocks (faults the page in on the first
+				// cycle, dirties it on later ones).
+				for b := 0; b < 4; b++ {
+					rt.Store(base+addr.Virt(b*addr.BlockSize), uint64(c+b)|1)
+				}
+			}
+			rt.ShredRange(va, pages)
+		}
+
+		// Software compatibility probe: write real data, force it to
+		// NVM, shred, then check whether the page reads as zeros (the
+		// rtld NULL-pointer assertion scenario from §4.2).
+		for b := 0; b < addr.BlocksPerPage; b++ {
+			rt.Store(va+addr.Virt(b*addr.BlockSize), 0xFEED)
+		}
+		m.Hier.FlushAll()
+		rt.ShredRange(va, 1)
+		readsZero := true
+		for b := 0; b < addr.BlocksPerPage; b++ {
+			if rt.Load(va+addr.Virt(b*addr.BlockSize)) != 0 {
+				readsZero = false
+				break
+			}
+		}
+		out = append(out, AblationIVRow{
+			Option:        opt.String(),
+			Reencryptions: m.MC.Reencryptions(),
+			NVMWrites:     m.Dev.Writes(),
+			ReadsAreZero:  readsZero,
+		})
+	}
+	return out
+}
+
+// AblationIVTable formats the IV-option ablation.
+func AblationIVTable(rows []AblationIVRow) *stats.Table {
+	t := stats.NewTable(
+		"Ablation: §4.2 shred encodings under shred/rewrite churn",
+		"option", "reencryptions", "nvm_writes", "shredded_reads_zero")
+	for _, r := range rows {
+		t.AddRow(r.Option, r.Reencryptions, r.NVMWrites, r.ReadsAreZero)
+	}
+	return t
+}
+
+// AblationDCWRow measures bit flips per write under one configuration.
+type AblationDCWRow struct {
+	Config        string
+	FlipsPerWrite float64 // cells programmed per block write
+	SkippedWrites uint64  // writes elided entirely (identical data)
+}
+
+// AblationDCW reproduces the paper's motivating observation (§1, §8,
+// citing DEUCE): Data-Comparison-Write and Flip-N-Write drastically
+// reduce programmed cells on plaintext NVM, but counter-mode encryption's
+// diffusion re-randomizes every block on every write, destroying both.
+func AblationDCW(o Options) []AblationDCWRow {
+	o = o.normalized()
+	writes := 2000
+	if o.Quick {
+		writes = 500
+	}
+	run := func(name string, mode nvm.WriteMode, encrypted bool) AblationDCWRow {
+		cfg := sim.ScaledConfig(memctrl.Baseline, kernel.ZeroNonTemporal, 64)
+		cfg.Hier.Cores = 1
+		cfg.MemPages = 1 << 14
+		cfg.NVM.WriteMode = mode
+		cfg.MemCtrl.DisableEncryption = !encrypted
+		m := sim.MustNew(cfg)
+		rt := m.Runtime(0)
+
+		// Workload: repeatedly update a few words per block — the
+		// sparse-update pattern DCW/FNW were designed for.
+		rng := rand.New(rand.NewSource(9))
+		pages := 8
+		va := rt.Malloc(pages * addr.PageSize)
+		for i := 0; i < writes; i++ {
+			blk := rng.Intn(pages * addr.BlocksPerPage)
+			off := rng.Intn(8) * 8
+			rt.Store(va+addr.Virt(blk*addr.BlockSize+off), uint64(rng.Intn(4)))
+			if i%32 == 31 {
+				// Periodic flush so updates actually reach the NVM
+				// cells (where DCW/FNW operate).
+				m.Hier.FlushAll()
+			}
+		}
+		m.Hier.FlushAll()
+		dev := m.Dev
+		row := AblationDCWRow{Config: name, SkippedWrites: dev.SkippedWrites()}
+		if w := dev.Writes(); w > 0 {
+			row.FlipsPerWrite = float64(dev.BitsFlipped()) / float64(w)
+		}
+		return row
+	}
+	return []AblationDCWRow{
+		run("plaintext + DCW", nvm.DCW, false),
+		run("plaintext + FNW", nvm.FNW, false),
+		run("encrypted + DCW", nvm.DCW, true),
+		run("encrypted + FNW", nvm.FNW, true),
+	}
+}
+
+// AblationDCWTable formats the diffusion ablation.
+func AblationDCWTable(rows []AblationDCWRow) *stats.Table {
+	t := stats.NewTable(
+		"Ablation: encryption diffusion defeats DCW/Flip-N-Write (cells programmed per 512-bit block write)",
+		"configuration", "flips_per_write", "skipped_writes")
+	for _, r := range rows {
+		t.AddRow(r.Config, r.FlipsPerWrite, r.SkippedWrites)
+	}
+	return t
+}
+
+// AblationDeuceRow measures one encryption-scheme configuration.
+type AblationDeuceRow struct {
+	Config        string
+	FlipsPerWrite float64
+	WriteSavings  float64 // vs the same scheme without Silent Shredder
+}
+
+// AblationDeuce composes Silent Shredder with DEUCE (the paper's §8
+// claim: "Our work is orthogonal and can be easily integrated with their
+// design"). DEUCE shrinks the cost of the writes that remain; Silent
+// Shredder removes the shredding writes entirely; together they stack.
+func AblationDeuce(o Options) []AblationDeuceRow {
+	o = o.normalized()
+	// A narrow working set gives each block several sparse updates —
+	// the update-in-place pattern DEUCE is built for.
+	writes := 1500
+	pages := 4
+	if o.Quick {
+		writes, pages = 400, 2
+	}
+	run := func(mode memctrl.Mode, zm kernel.ZeroMode, deuce bool) (flips float64, total uint64) {
+		cfg := sim.ScaledConfig(mode, zm, 64)
+		cfg.Hier.Cores = 1
+		cfg.MemPages = 1 << 14
+		cfg.NVM.WriteMode = nvm.DCW
+		cfg.MemCtrl.DEUCE = deuce
+		m := sim.MustNew(cfg)
+		rt := m.Runtime(0)
+		rng := rand.New(rand.NewSource(3))
+		va := rt.Malloc(pages * addr.PageSize)
+		// Fault everything in (shred/zero per mode), then sparse updates.
+		for p := 0; p < pages; p++ {
+			rt.Store(va+addr.Virt(p*addr.PageSize), 1)
+		}
+		for i := 0; i < writes; i++ {
+			blk := rng.Intn(pages * addr.BlocksPerPage)
+			rt.Store(va+addr.Virt(blk*addr.BlockSize), uint64(rng.Intn(16)))
+			if i%16 == 15 {
+				m.Hier.FlushAll()
+			}
+		}
+		m.Hier.FlushAll()
+		m.MC.Flush()
+		if w := m.Dev.Writes(); w > 0 {
+			flips = float64(m.Dev.BitsFlipped()) / float64(w)
+		}
+		return flips, m.Dev.Writes()
+	}
+	var out []AblationDeuceRow
+	for _, c := range []struct {
+		name  string
+		deuce bool
+	}{{"counter-mode", false}, {"counter-mode + DEUCE", true}} {
+		blFlips, blWrites := run(memctrl.Baseline, kernel.ZeroNonTemporal, c.deuce)
+		ssFlips, ssWrites := run(memctrl.SilentShredder, kernel.ZeroShred, c.deuce)
+		_ = blFlips
+		row := AblationDeuceRow{Config: c.name, FlipsPerWrite: ssFlips}
+		if blWrites > 0 {
+			row.WriteSavings = 1 - float64(ssWrites)/float64(blWrites)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// AblationDeuceTable formats the DEUCE composition ablation.
+func AblationDeuceTable(rows []AblationDeuceRow) *stats.Table {
+	t := stats.NewTable(
+		"Ablation: Silent Shredder composed with DEUCE (paper §8: orthogonal, stackable)",
+		"encryption scheme", "flips_per_remaining_write", "ss_write_savings")
+	for _, r := range rows {
+		t.AddRow(r.Config, r.FlipsPerWrite, r.WriteSavings)
+	}
+	return t
+}
+
+// AblationWTRow compares counter-cache persistence strategies.
+type AblationWTRow struct {
+	Config       string
+	CtrNVMWrites uint64 // counter-block writes reaching NVM
+	IPC          float64
+}
+
+// AblationWT compares the battery-backed write-back counter cache against
+// a write-through one (§4.3/§7.1): write-through needs no battery but
+// multiplies counter traffic to the NVM.
+func AblationWT(o Options) []AblationWTRow {
+	o = o.normalized()
+	run := func(name string, writeThrough bool) AblationWTRow {
+		cfg := sim.ScaledConfig(memctrl.SilentShredder, kernel.ZeroShred, o.Scale)
+		cfg.Hier.Cores = 1
+		cfg.StoreData = false
+		cfg.MemPages = 1 << 16
+		cfg.MemCtrl.CounterCache.WriteThrough = writeThrough
+		m := sim.MustNew(cfg)
+		rt := m.Runtime(0)
+		touchAndScan(rt, 2048)
+		dataWrites := m.MC.DataWrites()
+		return AblationWTRow{
+			Config:       name,
+			CtrNVMWrites: m.Dev.Writes() - dataWrites,
+			IPC:          m.AggregateIPC(),
+		}
+	}
+	return []AblationWTRow{
+		run("write-back (battery)", false),
+		run("write-through", true),
+	}
+}
+
+// AblationWTTable formats the persistence-strategy ablation.
+func AblationWTTable(rows []AblationWTRow) *stats.Table {
+	t := stats.NewTable(
+		"Ablation: counter-cache persistence strategy",
+		"configuration", "counter_nvm_writes", "ipc")
+	for _, r := range rows {
+		t.AddRow(r.Config, r.CtrNVMWrites, r.IPC)
+	}
+	return t
+}
+
+// AblationMerkleRow measures integrity-verification overhead.
+type AblationMerkleRow struct {
+	Config string
+	IPC    float64
+}
+
+// AblationMerkle measures the cost of authenticating counters with the
+// Bonsai Merkle tree (the paper cites ~2% overhead for Bonsai-style
+// protection, §7.1).
+func AblationMerkle(o Options) []AblationMerkleRow {
+	o = o.normalized()
+	run := func(name string, enable bool) AblationMerkleRow {
+		cfg := sim.ScaledConfig(memctrl.SilentShredder, kernel.ZeroShred, o.Scale)
+		cfg.Hier.Cores = 1
+		cfg.StoreData = false
+		cfg.MemPages = 1 << 16
+		cfg.MemCtrl.Integrity = enable
+		cfg.MemCtrl.IntegrityCfg.Depth = 16
+		cfg.MemCtrl.IntegrityCfg.CachedLevels = 8
+		// A small counter cache makes counter misses (and hence
+		// verifications) frequent enough to measure.
+		cfg.MemCtrl.CounterCache.Size = 16 << 10
+		m := sim.MustNew(cfg)
+		rt := m.Runtime(0)
+		touchAndScan(rt, 2048)
+		return AblationMerkleRow{Config: name, IPC: m.AggregateIPC()}
+	}
+	return []AblationMerkleRow{
+		run("no integrity tree", false),
+		run("bonsai merkle tree", true),
+	}
+}
+
+// AblationMerkleTable formats the integrity ablation.
+func AblationMerkleTable(rows []AblationMerkleRow) *stats.Table {
+	t := stats.NewTable(
+		"Ablation: Bonsai Merkle counter authentication (paper cites ~2% overhead)",
+		"configuration", "ipc")
+	for _, r := range rows {
+		t.AddRow(r.Config, r.IPC)
+	}
+	return t
+}
+
+// AblationWQRow measures read blocking behind the NVM write queue.
+type AblationWQRow struct {
+	Config       string
+	ReadsBlocked uint64
+	MeanReadLat  float64
+}
+
+// AblationWQ enables the write-queue contention model: NVM writes are
+// slow, so bursts of them (like zeroing a page) make concurrent reads
+// wait. Eliminating the zeroing writes therefore speeds up *unrelated*
+// reads too — a second-order benefit on top of zero-fill.
+func AblationWQ(o Options) []AblationWQRow {
+	o = o.normalized()
+	pages := 1024
+	if o.Quick {
+		pages = 128
+	}
+	run := func(name string, mode memctrl.Mode, zm kernel.ZeroMode) AblationWQRow {
+		cfg := sim.ScaledConfig(mode, zm, o.Scale)
+		cfg.Hier.Cores = 1
+		cfg.StoreData = false
+		cfg.MemPages = 1 << 16
+		cfg.MemCtrl.WriteQueueDepth = 32
+		m := sim.MustNew(cfg)
+		rt := m.Runtime(0)
+		// Interleave allocation (zeroing bursts in the baseline) with
+		// reads of previously written memory.
+		va := rt.Malloc(pages * addr.PageSize)
+		for p := 0; p < pages; p++ {
+			rt.Store(va+addr.Virt(p*addr.PageSize), uint64(p)|1)
+			if p > 16 {
+				// Read back an older page: in the baseline this read
+				// contends with the zeroing burst of the current fault.
+				rt.Load(va + addr.Virt((p-16)*addr.PageSize))
+			}
+		}
+		return AblationWQRow{
+			Config:       name,
+			ReadsBlocked: m.MC.ReadsBlockedByWrites(),
+			MeanReadLat:  m.MC.MeanReadLatency(),
+		}
+	}
+	return []AblationWQRow{
+		run("baseline (non-temporal zeroing)", memctrl.Baseline, kernel.ZeroNonTemporal),
+		run("silent shredder", memctrl.SilentShredder, kernel.ZeroShred),
+	}
+}
+
+// AblationWQTable formats the write-queue ablation.
+func AblationWQTable(rows []AblationWQRow) *stats.Table {
+	t := stats.NewTable(
+		"Ablation: zeroing write bursts blocking reads (write queue depth 32)",
+		"configuration", "reads_blocked", "mean_read_lat_cy")
+	for _, r := range rows {
+		t.AddRow(r.Config, r.ReadsBlocked, r.MeanReadLat)
+	}
+	return t
+}

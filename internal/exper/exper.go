@@ -1,0 +1,364 @@
+// Package exper is the experiment harness: one entry point per table and
+// figure in the paper's evaluation (§5-§6), plus the design-choice
+// ablations DESIGN.md calls out. Each experiment builds machines, runs
+// the workloads, and returns both a formatted table and the raw series so
+// the CLI, the benchmarks and EXPERIMENTS.md share one implementation.
+package exper
+
+import (
+	"fmt"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/apprt"
+	"silentshredder/internal/kernel"
+	"silentshredder/internal/memctrl"
+	"silentshredder/internal/sim"
+	"silentshredder/internal/workloads/graph"
+	"silentshredder/internal/workloads/kvstore"
+	"silentshredder/internal/workloads/spec"
+)
+
+// Options control experiment scale. The defaults reproduce the paper's
+// organization at a simulation-friendly size; Quick shrinks everything
+// further for tests and smoke runs.
+type Options struct {
+	// Cores is the number of cores (and workload instances) per run.
+	Cores int
+	// Scale divides the Table 1 cache sizes (1 = full size). Workload
+	// footprints are sized relative to the scaled hierarchy, so capacity
+	// effects match the paper's full-size runs.
+	Scale int
+	// Quick shrinks workload sizes for smoke tests.
+	Quick bool
+}
+
+// DefaultOptions returns the standard experiment scale: the paper's 8
+// cores with the hierarchy scaled by 8.
+func DefaultOptions() Options { return Options{Cores: 8, Scale: 8} }
+
+func (o Options) normalized() Options {
+	if o.Cores <= 0 {
+		o.Cores = 8
+	}
+	if o.Scale <= 0 {
+		o.Scale = 8
+	}
+	return o
+}
+
+// graphWorkloads are the PowerGraph applications of Figures 8-11.
+var graphWorkloads = []string{"pagerank", "simple_coloring", "kcore"}
+
+// AllWorkloads returns the Figure 8 x-axis: 26 SPEC + 3 PowerGraph.
+func AllWorkloads() []string {
+	var names []string
+	for _, p := range spec.Profiles {
+		names = append(names, p.Name)
+	}
+	return append(names, graphWorkloads...)
+}
+
+// isGraph reports whether the workload needs the functional data path.
+func isGraph(name string) bool {
+	switch name {
+	case "pagerank", "simple_coloring", "kcore",
+		"su_triangle_count", "d_triangle_count", "ud_triangle_count",
+		"als", "wals", "sgd", "sals", "d_ordered_coloring", "kvstore":
+		return true
+	}
+	return false
+}
+
+// machineFor builds a machine for one (workload, mode) run.
+func machineFor(o Options, name string, mode memctrl.Mode, zm kernel.ZeroMode) *sim.Machine {
+	cfg := sim.ScaledConfig(mode, zm, o.Scale)
+	cfg.Hier.Cores = o.Cores
+	cfg.StoreData = isGraph(name)
+	cfg.MemPages = 1 << 20 // 4GB pool: experiments never OOM
+	return sim.MustNew(cfg)
+}
+
+// graphGen sizes the synthetic graph per instance.
+func graphGen(o Options, seed int64) graph.Gen {
+	g := graph.DefaultGen()
+	if o.Quick {
+		g.V, g.E = 512, 4096
+	}
+	g.Seed = seed
+	return g
+}
+
+// triangleGen shrinks the graph for the triangle-counting workloads:
+// neighborhood intersection over Zipf hubs is quadratic in hub degree,
+// which would dwarf the other Figure 5 applications' runtime without
+// changing the write-traffic conclusions.
+func triangleGen(o Options, seed int64) graph.Gen {
+	g := graphGen(o, seed)
+	g.V /= 4
+	g.E /= 4
+	return g
+}
+
+// runInstance executes one workload instance on one core.
+func runInstance(o Options, rt *apprt.Runtime, name string, seed int64) {
+	switch name {
+	case "pagerank":
+		g := graph.Build(rt, graphGen(o, seed))
+		g.PageRank(2)
+	case "simple_coloring":
+		g := graph.Build(rt, graphGen(o, seed))
+		g.ColorGreedy()
+	case "d_ordered_coloring":
+		g := graph.Build(rt, graphGen(o, seed))
+		g.ColorOrdered()
+	case "kcore":
+		g := graph.Build(rt, graphGen(o, seed))
+		g.KCoreUpTo(4) // the 4-core: bounded peeling keeps cost linear
+	case "su_triangle_count":
+		g := graph.Build(rt, triangleGen(o, seed))
+		g.TriangleCount(32) // sampled
+	case "d_triangle_count", "ud_triangle_count":
+		g := graph.Build(rt, triangleGen(o, seed))
+		g.TriangleCount(128)
+	case "als", "wals":
+		n := 4096
+		if o.Quick {
+			n = 512
+		}
+		f := graph.NewFactorizer(rt, graph.GenRatings(seed, 256, 128, n), 8)
+		f.ALS(1, 0.05, 0.01)
+	case "kvstore":
+		n, ops := 4096, 8192
+		if o.Quick {
+			n, ops = 256, 512
+		}
+		kvstore.Churn(rt, n, ops, 0.6, uint64(seed))
+	case "sgd", "sals":
+		n := 4096
+		if o.Quick {
+			n = 512
+		}
+		f := graph.NewFactorizer(rt, graph.GenRatings(seed, 256, 128, n), 8)
+		f.SGD(1, 0.05, 0.01)
+	default:
+		p, ok := spec.ByName(name)
+		if !ok {
+			panic(fmt.Sprintf("exper: unknown workload %q", name))
+		}
+		if o.Quick {
+			p.InitPages /= 8
+			if p.InitPages < 16 {
+				p.InitPages = 16
+			}
+		}
+		spec.Run(rt, p, seed)
+	}
+}
+
+// runConcurrent executes one workload instance per core, interleaved in
+// round-robin quanta so the instances genuinely contend for the shared
+// L3/L4 and memory controller — the multiprogrammed behaviour of the
+// paper's rate-mode runs. The simulator is single-threaded by design;
+// interleaving is cooperative: each instance runs in a goroutine that
+// holds a baton for a fixed number of operations (the per-op trace hook
+// is the yield point) and then hands it to the next live instance, so
+// exactly one goroutine ever touches the machine at a time.
+func runConcurrent(o Options, m *sim.Machine, name string) {
+	n := o.Cores
+	if n == 1 {
+		runInstance(o, m.Runtime(0), name, 1)
+		return
+	}
+	const quantum = 1024 // operations per turn
+	batons := make([]chan struct{}, n)
+	for i := range batons {
+		batons[i] = make(chan struct{}, 1)
+	}
+	done := make([]bool, n)
+	finished := make(chan struct{})
+
+	pass := func(from int) {
+		for k := 1; k <= n; k++ {
+			j := (from + k) % n
+			if !done[j] {
+				batons[j] <- struct{}{}
+				return
+			}
+		}
+		finished <- struct{}{}
+	}
+
+	for i := 0; i < n; i++ {
+		rt := m.Runtime(i)
+		ops := 0
+		rt.SetTraceHook(func(apprt.TraceOp) {
+			ops++
+			if ops%quantum == 0 {
+				pass(i)
+				<-batons[i]
+			}
+		})
+		go func() {
+			<-batons[i]
+			runInstance(o, rt, name, int64(i+1))
+			done[i] = true
+			pass(i)
+		}()
+	}
+	batons[0] <- struct{}{}
+	<-finished
+}
+
+// runMachine runs one instance per core (rate mode, like the paper's
+// multiprogrammed SPEC runs) and returns the machine for inspection.
+func runMachine(o Options, name string, mode memctrl.Mode, zm kernel.ZeroMode) *sim.Machine {
+	if !KnownWorkload(name) {
+		// Validate here, in the caller's goroutine: runConcurrent's
+		// workers cannot usefully propagate a panic.
+		panic(fmt.Sprintf("exper: unknown workload %q", name))
+	}
+	m := machineFor(o, name, mode, zm)
+	runConcurrent(o, m, name)
+	// Drain dirty data so write counts reflect everything the phase
+	// produced, independent of how much happened to still be cached.
+	m.Hier.FlushAll()
+	m.MC.Flush()
+	return m
+}
+
+// KnownWorkload reports whether name is a runnable workload.
+func KnownWorkload(name string) bool {
+	if _, ok := spec.ByName(name); ok {
+		return true
+	}
+	return isGraph(name)
+}
+
+// RunWorkload runs one named workload (an instance per core) on a machine
+// with the given controller mode and zeroing strategy, returning the
+// machine for inspection. Unlike the internal runners it validates the
+// workload name; it does not flush caches at the end.
+func RunWorkload(o Options, name string, mode memctrl.Mode, zm kernel.ZeroMode) (*sim.Machine, error) {
+	return RunWorkloadTweaked(o, name, mode, zm, MachineTweaks{})
+}
+
+// MachineTweaks are the optional controller features a caller can toggle
+// on top of the standard experiment machine.
+type MachineTweaks struct {
+	DEUCE            bool
+	Integrity        bool
+	CounterCacheSize int // bytes; 0 keeps the scaled Table 1 size
+	WriteThrough     bool
+}
+
+// RunWorkloadTweaked is RunWorkload with controller-feature overrides.
+func RunWorkloadTweaked(o Options, name string, mode memctrl.Mode, zm kernel.ZeroMode, t MachineTweaks) (*sim.Machine, error) {
+	if !KnownWorkload(name) {
+		return nil, fmt.Errorf("exper: unknown workload %q", name)
+	}
+	o = o.normalized()
+	cfg := sim.ScaledConfig(mode, zm, o.Scale)
+	cfg.Hier.Cores = o.Cores
+	cfg.StoreData = isGraph(name)
+	cfg.MemPages = 1 << 20
+	cfg.MemCtrl.DEUCE = t.DEUCE
+	cfg.MemCtrl.Integrity = t.Integrity
+	cfg.MemCtrl.CounterCache.WriteThrough = t.WriteThrough
+	if t.CounterCacheSize > 0 {
+		cfg.MemCtrl.CounterCache.Size = t.CounterCacheSize
+	}
+	if t.DEUCE && !cfg.StoreData {
+		// DEUCE's partial re-encryption needs the data path.
+		cfg.StoreData = true
+	}
+	m := sim.MustNew(cfg)
+	runConcurrent(o, m, name)
+	return m, nil
+}
+
+// Result holds one workload's baseline-vs-Silent-Shredder measurements.
+type Result struct {
+	Name string
+
+	BaselineWrites uint64 // total NVM writes, baseline (non-temporal zeroing)
+	SSWrites       uint64 // total NVM writes, Silent Shredder
+	WriteSavings   float64
+
+	SSDataReads   uint64
+	SSZeroFills   uint64
+	ReadSavings   float64 // fraction of reads served by zero-fill
+	BaselineRdLat float64 // mean controller read latency (cycles)
+	SSRdLat       float64
+	ReadSpeedup   float64
+
+	BaselineIPC float64
+	SSIPC       float64
+	RelativeIPC float64
+
+	BaselineEnergyPJ float64
+	SSEnergyPJ       float64
+	EnergySavings    float64
+}
+
+// Compare runs one workload under the baseline (non-temporal zeroing)
+// and Silent Shredder and derives the Figure 8-11 metrics.
+func Compare(o Options, name string) Result {
+	o = o.normalized()
+	bl := runMachine(o, name, memctrl.Baseline, kernel.ZeroNonTemporal)
+	ss := runMachine(o, name, memctrl.SilentShredder, kernel.ZeroShred)
+
+	r := Result{
+		Name:             name,
+		BaselineWrites:   bl.Dev.Writes(),
+		SSWrites:         ss.Dev.Writes(),
+		SSDataReads:      ss.MC.DataReads(),
+		SSZeroFills:      ss.MC.ZeroFillReads(),
+		BaselineRdLat:    bl.MC.MeanReadLatency(),
+		SSRdLat:          ss.MC.MeanReadLatency(),
+		BaselineIPC:      bl.AggregateIPC(),
+		SSIPC:            ss.AggregateIPC(),
+		BaselineEnergyPJ: bl.Dev.EnergyPJ(),
+		SSEnergyPJ:       ss.Dev.EnergyPJ(),
+	}
+	if r.BaselineWrites > 0 {
+		r.WriteSavings = 1 - float64(r.SSWrites)/float64(r.BaselineWrites)
+	}
+	if tot := r.SSDataReads + r.SSZeroFills; tot > 0 {
+		r.ReadSavings = float64(r.SSZeroFills) / float64(tot)
+	}
+	if r.SSRdLat > 0 {
+		r.ReadSpeedup = r.BaselineRdLat / r.SSRdLat
+	}
+	if r.BaselineIPC > 0 {
+		r.RelativeIPC = r.SSIPC / r.BaselineIPC
+	}
+	if r.BaselineEnergyPJ > 0 {
+		r.EnergySavings = 1 - r.SSEnergyPJ/r.BaselineEnergyPJ
+	}
+	return r
+}
+
+// CompareAll runs Compare for each named workload (defaulting to the full
+// Figure 8 set).
+func CompareAll(o Options, names []string) []Result {
+	if len(names) == 0 {
+		names = AllWorkloads()
+	}
+	out := make([]Result, 0, len(names))
+	for _, n := range names {
+		out = append(out, Compare(o, n))
+	}
+	return out
+}
+
+// touchAndScan is a helper used by several ablations: it faults npages in
+// (triggering shredding) and then scans them with block-grained loads.
+func touchAndScan(rt *apprt.Runtime, npages int) {
+	va := rt.Malloc(npages * addr.PageSize)
+	for i := 0; i < npages; i++ {
+		rt.Store(va+addr.Virt(i*addr.PageSize), uint64(i)+1)
+	}
+	for i := 0; i < npages*addr.BlocksPerPage; i++ {
+		rt.Load(va + addr.Virt(i*addr.BlockSize))
+	}
+}

@@ -1,0 +1,65 @@
+package hier
+
+import (
+	"testing"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/memctrl"
+	"silentshredder/internal/nvm"
+	"silentshredder/internal/physmem"
+)
+
+func benchHier(b *testing.B, cores int) *Hierarchy {
+	b.Helper()
+	dev := nvm.New(nvm.DefaultConfig())
+	mc, err := memctrl.New(memctrl.DefaultConfig(memctrl.SilentShredder), dev, physmem.New(false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return New(Table1Config(cores), mc)
+}
+
+func BenchmarkReadL1Hit(b *testing.B) {
+	h := benchHier(b, 1)
+	h.Read(0, 0x40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Read(0, 0x40)
+	}
+}
+
+func BenchmarkReadLLCMissShredded(b *testing.B) {
+	h := benchHier(b, 1)
+	mc := h.Controller()
+	for p := addr.PageNum(0); p < 1024; p++ {
+		mc.Shred(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Large stride defeats all cache levels.
+		h.Read(0, addr.PageNum(i%1024).BlockAddr(i%64))
+		if i%4096 == 0 {
+			h.Crash() // drop contents so misses keep occurring
+		}
+	}
+}
+
+func BenchmarkWriteOwned(b *testing.B) {
+	h := benchHier(b, 1)
+	h.Write(0, 0x40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Write(0, 0x40)
+	}
+}
+
+func BenchmarkShredInvalidate(b *testing.B) {
+	h := benchHier(b, 8)
+	for i := 0; i < addr.BlocksPerPage; i++ {
+		h.Read(0, addr.PageNum(1).BlockAddr(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ShredInvalidate(1)
+	}
+}

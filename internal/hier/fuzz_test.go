@@ -1,0 +1,91 @@
+package hier
+
+import (
+	"math/rand"
+	"testing"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/memctrl"
+)
+
+// Fuzz-style stress: random reads/writes/NT-stores/shreds/flushes across
+// four cores over a small block universe; the structural invariants
+// (inclusion, directory coverage, single writer) must hold after every
+// operation.
+func TestRandomOpsPreserveInvariants(t *testing.T) {
+	h, mc, _ := newHier(t, tinyConfig(4), memctrl.SilentShredder)
+	rng := rand.New(rand.NewSource(99))
+
+	const npages = 3
+	var universe []addr.Phys
+	for b := 0; b < npages*addr.BlocksPerPage; b++ {
+		universe = append(universe, addr.Phys(b)<<addr.BlockShift)
+	}
+
+	for i := 0; i < 4000; i++ {
+		a := universe[rng.Intn(len(universe))]
+		core := rng.Intn(4)
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			h.Read(core, a)
+		case 4, 5, 6:
+			h.Write(core, a)
+		case 7:
+			h.WriteNonTemporal(a)
+		case 8:
+			p := a.Page()
+			h.ShredInvalidate(p)
+			mc.Shred(p)
+		case 9:
+			if rng.Intn(50) == 0 {
+				h.FlushAll()
+			} else {
+				h.Read(core, a)
+			}
+		}
+		if i%97 == 0 {
+			if err := h.CheckInvariants(universe); err != nil {
+				t.Fatalf("after %d ops: %v", i, err)
+			}
+		}
+	}
+	if err := h.CheckInvariants(universe); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The invariant checker itself must detect a planted violation.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	h, _, _ := newHier(t, tinyConfig(2), memctrl.Baseline)
+	h.Read(0, 0x40)
+	// Corrupt: invalidate the L3 copy behind the hierarchy's back,
+	// breaking inclusion.
+	h.L3().Invalidate(0x40)
+	if err := h.CheckInvariants([]addr.Phys{0x40}); err == nil {
+		t.Fatal("planted inclusion violation not detected")
+	}
+}
+
+func TestFlushPage(t *testing.T) {
+	h, mc, _ := newHier(t, tinyConfig(2), memctrl.Baseline)
+	p := addr.PageNum(1)
+	h.Write(0, p.BlockAddr(0))
+	h.Write(1, p.BlockAddr(1))
+	h.Read(0, p.BlockAddr(2))
+	dirty := h.FlushPage(p)
+	if dirty != 2 {
+		t.Fatalf("FlushPage wrote %d blocks, want 2", dirty)
+	}
+	if mc.DataWrites() != 2 {
+		t.Fatalf("controller writes = %d", mc.DataWrites())
+	}
+	// Everything gone from every level.
+	for i := 0; i < 3; i++ {
+		if h.L4().Probe(p.BlockAddr(i)) != nil {
+			t.Fatalf("block %d survived FlushPage", i)
+		}
+	}
+	if err := h.CheckInvariants([]addr.Phys{p.BlockAddr(0), p.BlockAddr(1), p.BlockAddr(2)}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package hier
+
+import (
+	"fmt"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/cache"
+)
+
+// CheckInvariants validates the structural invariants of the coherent
+// hierarchy over the given block addresses. It exists for tests and
+// debugging: a correct run never violates any of
+//
+//  1. inclusion — a block valid in any private L1/L2 is also valid in the
+//     shared L3 and L4;
+//  2. L1/L2 pairing — a block in a core's L1 is also in that core's L2;
+//  3. directory coverage — every private copy is recorded in the
+//     directory's sharer mask, and every recorded sharer holds a copy;
+//  4. single writer — at most one core holds a block in Modified state,
+//     and while one does, no other core holds any copy.
+func (h *Hierarchy) CheckInvariants(blocks []addr.Phys) error {
+	for _, a := range blocks {
+		a = a.Block()
+		var holders uint64
+		modifiedOwner := -1
+		for c := 0; c < h.cfg.Cores; c++ {
+			l1 := h.l1[c].Probe(a)
+			l2 := h.l2[c].Probe(a)
+			if l1 != nil && l2 == nil {
+				return fmt.Errorf("hier: %v in L1.%d but not L2.%d", a, c, c)
+			}
+			if l1 != nil || l2 != nil {
+				holders |= 1 << c
+				if h.l3.Probe(a) == nil {
+					return fmt.Errorf("hier: %v in private caches of core %d but not L3 (inclusion)", a, c)
+				}
+				if h.l4.Probe(a) == nil {
+					return fmt.Errorf("hier: %v in private caches of core %d but not L4 (inclusion)", a, c)
+				}
+			}
+			for _, l := range []*cache.Line{l1, l2} {
+				if l != nil && l.State == cache.Modified {
+					if modifiedOwner >= 0 && modifiedOwner != c {
+						return fmt.Errorf("hier: %v Modified in cores %d and %d", a, modifiedOwner, c)
+					}
+					modifiedOwner = c
+				}
+			}
+		}
+		if modifiedOwner >= 0 && holders&^(1<<modifiedOwner) != 0 {
+			return fmt.Errorf("hier: %v Modified in core %d but shared by mask %b", a, modifiedOwner, holders)
+		}
+		if de, ok := h.dir[a]; ok {
+			if de.sharers&^holders != 0 {
+				return fmt.Errorf("hier: %v directory sharers %b exceed actual holders %b", a, de.sharers, holders)
+			}
+			if holders&^de.sharers != 0 {
+				return fmt.Errorf("hier: %v holders %b missing from directory %b", a, holders, de.sharers)
+			}
+			if de.modified && de.owner != modifiedOwner {
+				return fmt.Errorf("hier: %v directory owner %d but Modified line in %d", a, de.owner, modifiedOwner)
+			}
+		} else if holders != 0 {
+			return fmt.Errorf("hier: %v held by mask %b but absent from directory", a, holders)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package integrity
+
+import (
+	"testing"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/ctr"
+)
+
+func BenchmarkUpdate(b *testing.B) {
+	t := NewTree(DefaultConfig())
+	var blk [ctr.CounterBlockSize]byte
+	for i := 0; i < b.N; i++ {
+		blk[0] = byte(i)
+		t.Update(addr.PageNum(i%4096), blk)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	t := NewTree(DefaultConfig())
+	var blk [ctr.CounterBlockSize]byte
+	t.Update(7, blk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Verify(7, blk)
+	}
+}

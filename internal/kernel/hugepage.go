@@ -1,0 +1,88 @@
+package kernel
+
+import (
+	"silentshredder/internal/addr"
+	"silentshredder/internal/clock"
+	"silentshredder/internal/mmu"
+)
+
+// Huge-page support (2MB). The paper's §7.2 notes that VMs and large
+// allocations prefer huge pages (fewer walks, fewer hypervisor
+// interventions) and §5 that shredding a large page is simply one shred
+// command per 4KB — Linux's clear_huge_page already calls clear_page per
+// 4KB frame, so no further hardware or OS change is needed.
+
+// HugePages is the number of 4KB frames per huge page.
+const HugePages = 512 // 2MB
+
+// ContiguousSource is implemented by page sources that can hand out
+// physically contiguous runs (huge pages need one).
+type ContiguousSource interface {
+	AllocContiguous(n int) (addr.PageNum, bool)
+}
+
+// AllocContiguous allocates n physically contiguous pages from the linear
+// range (the free list is per-page and cannot guarantee contiguity).
+func (s *LinearSource) AllocContiguous(n int) (addr.PageNum, bool) {
+	if s.next+addr.PageNum(n) > s.limit {
+		return 0, false
+	}
+	p := s.next
+	s.next += addr.PageNum(n)
+	return p, true
+}
+
+// MmapHuge reserves nHuge huge pages (2MB each) of virtual address space,
+// aligned to the huge-page size, and returns the base. Like Mmap, no
+// physical memory is allocated until first touch — but a huge mapping
+// faults in (and shreds) all 512 frames at once.
+func (k *Kernel) MmapHuge(p *Process, nHuge int) addr.Virt {
+	hugeSize := addr.Virt(HugePages * addr.PageSize)
+	base := (p.next + hugeSize - 1) &^ (hugeSize - 1)
+	p.next = base + addr.Virt(nHuge)*hugeSize
+	for i := 0; i < nHuge; i++ {
+		p.hugeRanges = append(p.hugeRanges, base.Page()+addr.VPageNum(i*HugePages))
+	}
+	return base
+}
+
+// hugeBase returns the huge-region base VPN for vpn if vpn falls inside a
+// reserved huge range of p.
+func (p *Process) hugeBase(vpn addr.VPageNum) (addr.VPageNum, bool) {
+	base := vpn &^ (HugePages - 1)
+	for _, h := range p.hugeRanges {
+		if h == base {
+			return base, true
+		}
+	}
+	return 0, false
+}
+
+// faultHuge allocates and clears a whole huge page: 512 contiguous
+// frames, each shredded/zeroed with the configured strategy (the
+// clear_huge_page loop), then mapped with per-frame PTEs sharing the
+// contiguous backing.
+func (k *Kernel) faultHuge(core int, p *Process, base addr.VPageNum) (clock.Cycles, bool) {
+	cs, ok := k.src.(ContiguousSource)
+	if !ok {
+		return 0, false
+	}
+	ppn, ok := cs.AllocContiguous(HugePages)
+	if !ok {
+		k.oomEvents.Inc()
+		return 0, false
+	}
+	k.pageFaults.Inc()
+	k.hugeFaults.Inc()
+	lat := k.cfg.FaultOverhead
+	for i := 0; i < HugePages; i++ {
+		lat += k.ClearPage(core, ppn+addr.PageNum(i))
+		p.AS.Map(base+addr.VPageNum(i), mmu.PTE{PPN: ppn + addr.PageNum(i), Writable: true})
+		p.pages[base+addr.VPageNum(i)] = ppn + addr.PageNum(i)
+	}
+	k.faultCycles.Add(uint64(lat))
+	return lat, true
+}
+
+// HugeFaults returns the number of huge-page faults served.
+func (k *Kernel) HugeFaults() uint64 { return k.hugeFaults.Value() }

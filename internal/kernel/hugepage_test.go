@@ -1,0 +1,112 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/memctrl"
+)
+
+func TestAllocContiguous(t *testing.T) {
+	s := NewLinearSource(0, 1024)
+	p1, ok := s.AllocContiguous(512)
+	if !ok || p1 != 0 {
+		t.Fatalf("first run = %v %v", p1, ok)
+	}
+	p2, ok := s.AllocContiguous(512)
+	if !ok || p2 != 512 {
+		t.Fatalf("second run = %v %v", p2, ok)
+	}
+	if _, ok := s.AllocContiguous(1); ok {
+		t.Fatal("exhausted range must fail")
+	}
+}
+
+func TestHugeFaultShredsAllFrames(t *testing.T) {
+	h := testHier(t, memctrl.SilentShredder)
+	k, err := New(DefaultConfig(ZeroShred), h, NewLinearSource(0, 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := k.NewProcess()
+	va := k.MmapHuge(p, 1)
+	if va%(HugePages*addr.PageSize) != 0 {
+		t.Fatalf("huge base %v not 2MB aligned", va)
+	}
+
+	write(k, 0, p, va+12345, []byte{9}) // one touch faults the whole huge page
+	if k.HugeFaults() != 1 {
+		t.Fatalf("huge faults = %d", k.HugeFaults())
+	}
+	if k.PagesCleared() != HugePages {
+		t.Fatalf("cleared %d frames, want %d (clear_huge_page loop)", k.PagesCleared(), HugePages)
+	}
+	if k.Controller().ShredCommands() != HugePages {
+		t.Fatalf("shred commands = %d", k.Controller().ShredCommands())
+	}
+	if k.Controller().ZeroingWrites() != 0 {
+		t.Fatal("huge shred must not write data")
+	}
+
+	// The whole 2MB reads as zeros except the touched byte; later
+	// touches fault nothing further.
+	faults := k.PageFaults()
+	if got := read(k, 0, p, va+2*1024*1024-8, 8); !bytes.Equal(got, make([]byte, 8)) {
+		t.Fatalf("tail of huge page = %v", got)
+	}
+	write(k, 0, p, va+1024*1024, []byte{7})
+	if k.PageFaults() != faults {
+		t.Fatal("accesses within a faulted huge page must not re-fault")
+	}
+	// Frames are physically contiguous.
+	pteA, _ := p.AS.Lookup(va.Page())
+	pteB, _ := p.AS.Lookup(va.Page() + 1)
+	if pteB.PPN != pteA.PPN+1 {
+		t.Fatalf("frames not contiguous: %v then %v", pteA.PPN, pteB.PPN)
+	}
+}
+
+func TestHugeFaultFallsBackWithoutContiguity(t *testing.T) {
+	h := testHier(t, memctrl.SilentShredder)
+	// Wrap the source to hide the ContiguousSource capability.
+	k, err := New(DefaultConfig(ZeroShred), h, pagedOnly{NewLinearSource(0, 2048)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := k.NewProcess()
+	va := k.MmapHuge(p, 1)
+	write(k, 0, p, va, []byte{1})
+	if k.HugeFaults() != 0 {
+		t.Fatal("no huge fault possible without a contiguous source")
+	}
+	if k.PageFaults() != 1 {
+		t.Fatalf("expected 4KB fallback fault, got %d", k.PageFaults())
+	}
+	if got := read(k, 0, p, va, 1); got[0] != 1 {
+		t.Fatal("fallback mapping broken")
+	}
+}
+
+// pagedOnly hides AllocContiguous from the kernel.
+type pagedOnly struct{ s *LinearSource }
+
+func (p pagedOnly) AllocPage() (addr.PageNum, bool) { return p.s.AllocPage() }
+func (p pagedOnly) FreePage(n addr.PageNum)         { p.s.FreePage(n) }
+
+func TestHugeFaultOOM(t *testing.T) {
+	h := testHier(t, memctrl.SilentShredder)
+	k, err := New(DefaultConfig(ZeroShred), h, NewLinearSource(0, 64)) // < 512 frames
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := k.NewProcess()
+	va := k.MmapHuge(p, 1)
+	write(k, 0, p, va, []byte{1}) // falls back to a 4KB fault
+	if k.OOMEvents() != 1 {
+		t.Fatalf("OOM events = %d (contiguous alloc must have failed)", k.OOMEvents())
+	}
+	if k.PageFaults() != 1 {
+		t.Fatalf("4KB fallback faults = %d", k.PageFaults())
+	}
+}

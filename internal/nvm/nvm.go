@@ -1,0 +1,453 @@
+// Package nvm models a non-volatile main memory device (e.g. Phase-Change
+// Memory) at cache-block granularity.
+//
+// The model captures the NVM properties the paper's evaluation depends on:
+//
+//   - asymmetric, slow writes (Table 1: 75ns reads, 150ns writes),
+//   - limited write endurance, tracked as per-block wear counts,
+//   - cell-level write-reduction schemes — Data Comparison Write (DCW) and
+//     Flip-N-Write (FNW) — which the paper's motivation (§1) shows are
+//     defeated by encryption's diffusion; the device counts bit flips so
+//     that effect is directly measurable (cmd/experiments ablation-dcw).
+//
+// Data storage is sparse (per-page, allocated on first write) and optional:
+// timing-only runs disable it to keep memory-footprint sweeps cheap.
+package nvm
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/clock"
+	"silentshredder/internal/stats"
+)
+
+// WriteMode selects the device's cell-write-reduction scheme.
+type WriteMode int
+
+const (
+	// WriteAll writes every bit of every block (no reduction).
+	WriteAll WriteMode = iota
+	// DCW (Data Comparison Write) reads the old contents and only
+	// programs cells whose value changed; a write identical to the old
+	// contents is skipped entirely.
+	DCW
+	// FNW (Flip-N-Write) additionally stores each 64-bit word inverted
+	// when that flips fewer cells, bounding flips to half the word.
+	FNW
+)
+
+func (m WriteMode) String() string {
+	switch m {
+	case WriteAll:
+		return "write-all"
+	case DCW:
+		return "dcw"
+	case FNW:
+		return "fnw"
+	default:
+		return "unknown"
+	}
+}
+
+// Config holds device parameters.
+type Config struct {
+	ReadLatency  clock.Cycles // per-block read latency
+	WriteLatency clock.Cycles // per-block write latency
+	Channels     int          // memory channels (blocks interleave across them)
+	StoreData    bool         // keep actual contents (required for DCW/FNW and functional checks)
+	WriteMode    WriteMode
+	Endurance    uint64 // writes a block endures before being considered worn out
+
+	// DisableWearTracking drops the per-block wear map. Giant
+	// timing-only sweeps (e.g. the 1GB memset experiment) enable this
+	// to bound host memory; endurance statistics then only report the
+	// aggregate write count.
+	DisableWearTracking bool
+
+	// Banks per channel. Accesses hitting a recently used bank pay
+	// BankPenalty extra cycles, modeling the row-cycle time a busy PCM
+	// bank imposes on back-to-back requests. 0 disables the model.
+	Banks       int
+	BankPenalty clock.Cycles
+	// BankWindow is how many subsequent accesses a bank stays busy for
+	// (a logical-time stand-in for tRC at the modeled access rate).
+	BankWindow uint64
+
+	// Energy model (picojoules). PCM reads sense cells cheaply; writes
+	// pay per programmed cell, which is what makes eliminated writes and
+	// DCW-style flip reduction show up as energy savings.
+	ReadEnergyPerBitPJ  float64
+	WriteEnergyPerBitPJ float64
+}
+
+// DefaultConfig returns the paper's Table 1 main-memory configuration:
+// 75ns reads, 150ns writes, 2 channels, with data storage enabled and a
+// 10^8-write endurance (PCM's upper range, §2.1).
+func DefaultConfig() Config {
+	return Config{
+		ReadLatency:  clock.FromNs(75),
+		WriteLatency: clock.FromNs(150),
+		Channels:     2,
+		StoreData:    true,
+		WriteMode:    WriteAll,
+		Endurance:    100_000_000,
+		Banks:        8,
+		BankPenalty:  clock.FromNs(30),
+		BankWindow:   4,
+		// Representative PCM figures: ~2pJ/bit sensing, ~16pJ per
+		// programmed cell (Lee et al. / Qureshi et al. ballpark).
+		ReadEnergyPerBitPJ:  2,
+		WriteEnergyPerBitPJ: 16,
+	}
+}
+
+// Device is a simulated NVM DIMM population.
+type Device struct {
+	cfg   Config
+	pages map[addr.PageNum]*[addr.PageSize]byte
+	flip  map[addr.Phys]uint8 // FNW flip bit per 8-byte word, bit i = word i of block
+	wear  map[addr.Phys]uint64
+
+	reads, writes, skippedWrites stats.Counter
+	bitsFlipped, bitsWritten     stats.Counter
+	bankConflicts                stats.Counter
+	perChannel                   []stats.Counter
+	maxWear                      uint64
+
+	tick     uint64
+	bankLast []uint64 // logical tick of each bank's last access
+}
+
+// New creates a device. Channels must be at least 1.
+func New(cfg Config) *Device {
+	if cfg.Channels < 1 {
+		cfg.Channels = 1
+	}
+	d := &Device{
+		cfg:        cfg,
+		pages:      make(map[addr.PageNum]*[addr.PageSize]byte),
+		flip:       make(map[addr.Phys]uint8),
+		wear:       make(map[addr.Phys]uint64),
+		perChannel: make([]stats.Counter, cfg.Channels),
+	}
+	if cfg.Banks > 0 {
+		d.bankLast = make([]uint64, cfg.Channels*cfg.Banks)
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Channel returns the channel servicing block address a (block-interleaved).
+func (d *Device) Channel(a addr.Phys) int {
+	return int(a>>addr.BlockShift) % d.cfg.Channels
+}
+
+// Bank returns the global bank index servicing block address a (blocks
+// interleave across channels first, then across the channel's banks), or
+// -1 when bank modeling is disabled.
+func (d *Device) Bank(a addr.Phys) int {
+	if d.cfg.Banks <= 0 {
+		return -1
+	}
+	blk := uint64(a) >> addr.BlockShift
+	ch := int(blk) % d.cfg.Channels
+	return ch*d.cfg.Banks + int(blk/uint64(d.cfg.Channels))%d.cfg.Banks
+}
+
+// bankDelay advances logical time and returns the extra latency if the
+// accessed bank is still busy from a recent request.
+func (d *Device) bankDelay(a addr.Phys) clock.Cycles {
+	b := d.Bank(a)
+	if b < 0 {
+		return 0
+	}
+	d.tick++
+	var extra clock.Cycles
+	if last := d.bankLast[b]; last != 0 && d.tick <= last+d.cfg.BankWindow {
+		d.bankConflicts.Inc()
+		extra = d.cfg.BankPenalty
+	}
+	d.bankLast[b] = d.tick
+	return extra
+}
+
+// ReadBlock reads the 64B block at block-aligned address a into dst and
+// returns the access latency. Reading never-written cells yields zeros.
+func (d *Device) ReadBlock(a addr.Phys, dst []byte) clock.Cycles {
+	a = a.Block()
+	d.reads.Inc()
+	d.perChannel[d.Channel(a)].Inc()
+	bankExtra := d.bankDelay(a)
+	if d.cfg.StoreData && dst != nil {
+		if pg, ok := d.pages[a.Page()]; ok {
+			off := a.PageOffset()
+			copy(dst[:addr.BlockSize], pg[off:off+addr.BlockSize])
+		} else {
+			for i := 0; i < addr.BlockSize && i < len(dst); i++ {
+				dst[i] = 0
+			}
+		}
+	}
+	return d.cfg.ReadLatency + bankExtra
+}
+
+// Peek copies the current raw contents of the block at a into dst without
+// modeling an access (no latency, no statistics). It is how tests and the
+// attack-model harness inspect what an adversary scanning the DIMM would
+// see. It returns false if data storage is disabled.
+func (d *Device) Peek(a addr.Phys, dst []byte) bool {
+	if !d.cfg.StoreData {
+		return false
+	}
+	a = a.Block()
+	if pg, ok := d.pages[a.Page()]; ok {
+		off := a.PageOffset()
+		copy(dst[:addr.BlockSize], pg[off:off+addr.BlockSize])
+	} else {
+		for i := range dst[:addr.BlockSize] {
+			dst[i] = 0
+		}
+	}
+	return true
+}
+
+// WriteBlock writes the 64B block at block-aligned address a and returns
+// the access latency. Depending on the write mode, some or all of the
+// write may be elided; wear and bit-flip statistics are updated to match.
+func (d *Device) WriteBlock(a addr.Phys, src []byte) clock.Cycles {
+	a = a.Block()
+	bankExtra := d.bankDelay(a)
+	if !d.cfg.StoreData || src == nil {
+		// Timing-only mode: every write programs the full block.
+		d.accountWrite(a, addr.BlockSize*8, addr.BlockSize*8)
+		return d.cfg.WriteLatency + bankExtra
+	}
+
+	pg, ok := d.pages[a.Page()]
+	if !ok {
+		pg = new([addr.PageSize]byte)
+		d.pages[a.Page()] = pg
+	}
+	off := a.PageOffset()
+	old := pg[off : off+addr.BlockSize]
+
+	switch d.cfg.WriteMode {
+	case DCW:
+		changed := diffBits(old, src)
+		if changed == 0 {
+			d.skippedWrites.Inc()
+			return d.cfg.ReadLatency + bankExtra // DCW still reads to compare
+		}
+		d.accountWrite(a, changed, addr.BlockSize*8)
+	case FNW:
+		changed := d.fnwFlips(a, old, src)
+		if changed == 0 {
+			d.skippedWrites.Inc()
+			return d.cfg.ReadLatency + bankExtra
+		}
+		d.accountWrite(a, changed, addr.BlockSize*8)
+	default:
+		d.accountWrite(a, diffBits(old, src), addr.BlockSize*8)
+	}
+	copy(old, src[:addr.BlockSize])
+	return d.cfg.WriteLatency + bankExtra
+}
+
+func (d *Device) accountWrite(a addr.Phys, flipped, written uint64) {
+	d.writes.Inc()
+	d.perChannel[d.Channel(a)].Inc()
+	d.bitsFlipped.Add(flipped)
+	d.bitsWritten.Add(written)
+	if d.cfg.DisableWearTracking {
+		return
+	}
+	w := d.wear[a] + 1
+	d.wear[a] = w
+	if w > d.maxWear {
+		d.maxWear = w
+	}
+}
+
+// diffBits counts differing bits between two 64-byte blocks.
+func diffBits(old, new []byte) uint64 {
+	var n uint64
+	for i := 0; i < addr.BlockSize; i += 8 {
+		o := binary.LittleEndian.Uint64(old[i:])
+		w := binary.LittleEndian.Uint64(new[i:])
+		n += uint64(bits.OnesCount64(o ^ w))
+	}
+	return n
+}
+
+// fnwFlips computes the cells Flip-N-Write programs: per 64-bit word, the
+// stored image may be inverted (tracked by a flip bit) so at most 32 cells
+// plus the flip bit change per word.
+func (d *Device) fnwFlips(a addr.Phys, old, new []byte) uint64 {
+	flips := d.flip[a]
+	var total uint64
+	for w := 0; w < addr.BlockSize/8; w++ {
+		o := binary.LittleEndian.Uint64(old[w*8:])
+		n := binary.LittleEndian.Uint64(new[w*8:])
+		cells := o // physical cell image of the word
+		wasFlipped := flips&(1<<w) != 0
+		if wasFlipped {
+			cells = ^o
+		}
+		// Cost of each choice includes changing the flip bit if needed.
+		direct := uint64(bits.OnesCount64(cells ^ n))
+		if wasFlipped {
+			direct++ // must clear the flip bit
+		}
+		inverted := uint64(bits.OnesCount64(cells ^ ^n))
+		if !wasFlipped {
+			inverted++ // must set the flip bit
+		}
+		if inverted < direct {
+			total += inverted
+			flips |= 1 << w
+		} else {
+			total += direct
+			if wasFlipped {
+				flips &^= 1 << w
+			}
+		}
+	}
+	d.flip[a] = flips
+	return total
+}
+
+// State is the device's serializable persistent state (cell contents,
+// wear, Flip-N-Write metadata). Used by checkpointing and DIMM dumps.
+type State struct {
+	Pages map[addr.PageNum][]byte
+	Wear  map[addr.Phys]uint64
+	Flip  map[addr.Phys]uint8
+}
+
+// Snapshot exports the device's persistent state. The returned state
+// shares no memory with the device.
+func (d *Device) Snapshot() *State {
+	st := &State{
+		Pages: make(map[addr.PageNum][]byte, len(d.pages)),
+		Wear:  make(map[addr.Phys]uint64, len(d.wear)),
+		Flip:  make(map[addr.Phys]uint8, len(d.flip)),
+	}
+	for p, data := range d.pages {
+		st.Pages[p] = append([]byte(nil), data[:]...)
+	}
+	for a, w := range d.wear {
+		st.Wear[a] = w
+	}
+	for a, f := range d.flip {
+		st.Flip[a] = f
+	}
+	return st
+}
+
+// Restore replaces the device's persistent state with st.
+func (d *Device) Restore(st *State) {
+	d.pages = make(map[addr.PageNum]*[addr.PageSize]byte, len(st.Pages))
+	for p, data := range st.Pages {
+		pg := new([addr.PageSize]byte)
+		copy(pg[:], data)
+		d.pages[p] = pg
+	}
+	d.wear = make(map[addr.Phys]uint64, len(st.Wear))
+	d.maxWear = 0
+	for a, w := range st.Wear {
+		d.wear[a] = w
+		if w > d.maxWear {
+			d.maxWear = w
+		}
+	}
+	d.flip = make(map[addr.Phys]uint8, len(st.Flip))
+	for a, f := range st.Flip {
+		d.flip[a] = f
+	}
+}
+
+// ForEachPage calls fn for every materialized data page (requires
+// StoreData). Crash recovery uses it to rebuild the architectural image
+// from the persistent ciphertext.
+func (d *Device) ForEachPage(fn func(p addr.PageNum, data *[addr.PageSize]byte)) {
+	for p, data := range d.pages {
+		fn(p, data)
+	}
+}
+
+// Wear returns the write count of the block at a.
+func (d *Device) Wear(a addr.Phys) uint64 { return d.wear[a.Block()] }
+
+// MaxWear returns the highest per-block write count seen so far.
+func (d *Device) MaxWear() uint64 { return d.maxWear }
+
+// WornBlocks returns how many blocks have exceeded the endurance limit.
+func (d *Device) WornBlocks() int {
+	n := 0
+	for _, w := range d.wear {
+		if w > d.cfg.Endurance {
+			n++
+		}
+	}
+	return n
+}
+
+// EnergyPJ returns the modeled energy spent on the device so far, in
+// picojoules: sensing energy for every block read plus programming
+// energy for every cell actually flipped (so DCW/FNW/DEUCE savings and
+// Silent Shredder's eliminated writes all show up directly).
+func (d *Device) EnergyPJ() float64 {
+	readBits := float64(d.reads.Value()) * addr.BlockSize * 8
+	return readBits*d.cfg.ReadEnergyPerBitPJ +
+		float64(d.bitsFlipped.Value())*d.cfg.WriteEnergyPerBitPJ
+}
+
+// BankConflicts returns accesses delayed by a busy bank.
+func (d *Device) BankConflicts() uint64 { return d.bankConflicts.Value() }
+
+// Reads returns the total block reads serviced.
+func (d *Device) Reads() uint64 { return d.reads.Value() }
+
+// Writes returns the total block writes performed (excluding skipped).
+func (d *Device) Writes() uint64 { return d.writes.Value() }
+
+// SkippedWrites returns writes elided by DCW/FNW comparison.
+func (d *Device) SkippedWrites() uint64 { return d.skippedWrites.Value() }
+
+// BitsFlipped returns the total cells actually programmed.
+func (d *Device) BitsFlipped() uint64 { return d.bitsFlipped.Value() }
+
+// BitsWritten returns the total cells covered by write requests.
+func (d *Device) BitsWritten() uint64 { return d.bitsWritten.Value() }
+
+// ResetStats clears access statistics (wear state is preserved, since it
+// models physical cell degradation).
+func (d *Device) ResetStats() {
+	d.reads.Reset()
+	d.writes.Reset()
+	d.skippedWrites.Reset()
+	d.bitsFlipped.Reset()
+	d.bitsWritten.Reset()
+	d.bankConflicts.Reset()
+	for i := range d.perChannel {
+		d.perChannel[i].Reset()
+	}
+}
+
+// StatsSet exposes the device statistics under the given component name.
+func (d *Device) StatsSet(name string) *stats.Set {
+	s := stats.NewSet(name)
+	s.RegisterCounter("reads", &d.reads)
+	s.RegisterCounter("writes", &d.writes)
+	s.RegisterCounter("skipped_writes", &d.skippedWrites)
+	s.RegisterCounter("bits_flipped", &d.bitsFlipped)
+	s.RegisterCounter("bits_written", &d.bitsWritten)
+	s.RegisterCounter("bank_conflicts", &d.bankConflicts)
+	s.RegisterFunc("energy_pj", d.EnergyPJ)
+	s.RegisterFunc("max_wear", func() float64 { return float64(d.maxWear) })
+	return s
+}

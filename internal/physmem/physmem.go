@@ -1,0 +1,151 @@
+// Package physmem holds the functional (plaintext) image of physical
+// memory as seen from inside the processor chip.
+//
+// The simulator splits function from timing: caches and the memory
+// controller model *when* data moves and in what form (the NVM device
+// stores ciphertext), while this image is the architecturally visible
+// contents that loads and stores operate on. The image is sparse —
+// pages materialize on first write — and can be disabled entirely for
+// timing-only experiments with very large footprints.
+package physmem
+
+import (
+	"encoding/binary"
+
+	"silentshredder/internal/addr"
+)
+
+// Image is a sparse plaintext memory image.
+type Image struct {
+	enabled bool
+	pages   map[addr.PageNum]*[addr.PageSize]byte
+}
+
+// New creates an image. If store is false all operations are no-ops and
+// reads return zeros; timing-only runs use that mode.
+func New(store bool) *Image {
+	return &Image{enabled: store, pages: make(map[addr.PageNum]*[addr.PageSize]byte)}
+}
+
+// Enabled reports whether the image stores data.
+func (m *Image) Enabled() bool { return m.enabled }
+
+// Read copies len(dst) bytes at physical address a into dst. Unwritten
+// memory reads as zeros.
+func (m *Image) Read(a addr.Phys, dst []byte) {
+	if !m.enabled {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	for len(dst) > 0 {
+		pg, ok := m.pages[a.Page()]
+		off := int(a.PageOffset())
+		n := addr.PageSize - off
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if ok {
+			copy(dst[:n], pg[off:off+n])
+		} else {
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		a += addr.Phys(n)
+	}
+}
+
+// Write copies src to physical address a, materializing pages as needed.
+func (m *Image) Write(a addr.Phys, src []byte) {
+	if !m.enabled {
+		return
+	}
+	for len(src) > 0 {
+		pg, ok := m.pages[a.Page()]
+		if !ok {
+			pg = new([addr.PageSize]byte)
+			m.pages[a.Page()] = pg
+		}
+		off := int(a.PageOffset())
+		n := addr.PageSize - off
+		if n > len(src) {
+			n = len(src)
+		}
+		copy(pg[off:off+n], src[:n])
+		src = src[n:]
+		a += addr.Phys(n)
+	}
+}
+
+// ReadBlock returns the 64B block containing a.
+func (m *Image) ReadBlock(a addr.Phys) [addr.BlockSize]byte {
+	var out [addr.BlockSize]byte
+	m.Read(a.Block(), out[:])
+	return out
+}
+
+// ReadU64 reads a little-endian uint64 at a.
+func (m *Image) ReadU64(a addr.Phys) uint64 {
+	var b [8]byte
+	m.Read(a, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// WriteU64 writes a little-endian uint64 at a.
+func (m *Image) WriteU64(a addr.Phys, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	m.Write(a, b[:])
+}
+
+// ZeroPage zeroes page p. Used by the kernel's zeroing strategies and by
+// the Silent Shredder path to make the architectural contents of a
+// shredded page read as zeros.
+func (m *Image) ZeroPage(p addr.PageNum) {
+	if !m.enabled {
+		return
+	}
+	if pg, ok := m.pages[p]; ok {
+		*pg = [addr.PageSize]byte{}
+	}
+	// An unmaterialized page already reads as zeros.
+}
+
+// Snapshot exports the image contents (checkpointing). Returns nil when
+// the image is disabled.
+func (m *Image) Snapshot() map[addr.PageNum][]byte {
+	if !m.enabled {
+		return nil
+	}
+	out := make(map[addr.PageNum][]byte, len(m.pages))
+	for p, data := range m.pages {
+		out[p] = append([]byte(nil), data[:]...)
+	}
+	return out
+}
+
+// Restore replaces the image contents. A nil snapshot clears the image.
+func (m *Image) Restore(pages map[addr.PageNum][]byte) {
+	m.pages = make(map[addr.PageNum]*[addr.PageSize]byte, len(pages))
+	if !m.enabled {
+		return
+	}
+	for p, data := range pages {
+		pg := new([addr.PageSize]byte)
+		copy(pg[:], data)
+		m.pages[p] = pg
+	}
+}
+
+// PageResident reports whether page p has been materialized.
+func (m *Image) PageResident(p addr.PageNum) bool {
+	_, ok := m.pages[p]
+	return ok
+}
+
+// ResidentPages returns the number of materialized pages (for memory
+// accounting in big sweeps).
+func (m *Image) ResidentPages() int { return len(m.pages) }

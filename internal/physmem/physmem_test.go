@@ -1,0 +1,110 @@
+package physmem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"silentshredder/internal/addr"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(true)
+	data := []byte("hello, nvmm")
+	m.Write(1000, data)
+	got := make([]byte, len(data))
+	m.Read(1000, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	m := New(true)
+	got := []byte{1, 2, 3}
+	m.Read(0x999999, got)
+	if !bytes.Equal(got, []byte{0, 0, 0}) {
+		t.Fatal("unwritten memory must read as zeros")
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New(true)
+	a := addr.Phys(addr.PageSize - 3)
+	data := []byte{1, 2, 3, 4, 5, 6}
+	m.Write(a, data)
+	got := make([]byte, 6)
+	m.Read(a, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("cross-page round trip = %v", got)
+	}
+	if !m.PageResident(0) || !m.PageResident(1) {
+		t.Fatal("both pages must be resident")
+	}
+	if m.ResidentPages() != 2 {
+		t.Fatalf("ResidentPages = %d", m.ResidentPages())
+	}
+}
+
+func TestDisabledImage(t *testing.T) {
+	m := New(false)
+	if m.Enabled() {
+		t.Fatal("Enabled must be false")
+	}
+	m.Write(0, []byte{9})
+	got := []byte{5}
+	m.Read(0, got)
+	if got[0] != 0 {
+		t.Fatal("disabled image must read zeros")
+	}
+	m.ZeroPage(0)
+	if m.ResidentPages() != 0 {
+		t.Fatal("disabled image must not materialize pages")
+	}
+}
+
+func TestU64Helpers(t *testing.T) {
+	m := New(true)
+	m.WriteU64(64, 0xDEADBEEFCAFE)
+	if got := m.ReadU64(64); got != 0xDEADBEEFCAFE {
+		t.Fatalf("ReadU64 = %#x", got)
+	}
+}
+
+func TestZeroPage(t *testing.T) {
+	m := New(true)
+	m.Write(addr.PageNum(2).Addr(), bytes.Repeat([]byte{0xFF}, addr.PageSize))
+	m.ZeroPage(2)
+	blk := m.ReadBlock(addr.PageNum(2).Addr())
+	if blk != [addr.BlockSize]byte{} {
+		t.Fatal("ZeroPage did not clear contents")
+	}
+	m.ZeroPage(77) // non-resident: must not materialize
+	if m.PageResident(77) {
+		t.Fatal("ZeroPage materialized a page")
+	}
+}
+
+// Property: disjoint writes are independent; the last write to an address wins.
+func TestLastWriteWinsProperty(t *testing.T) {
+	f := func(a uint16, v1, v2 byte) bool {
+		m := New(true)
+		m.Write(addr.Phys(a), []byte{v1})
+		m.Write(addr.Phys(a), []byte{v2})
+		got := []byte{0}
+		m.Read(addr.Phys(a), got)
+		return got[0] == v2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadBlockAlignsDown(t *testing.T) {
+	m := New(true)
+	m.Write(64, []byte{42})
+	blk := m.ReadBlock(100) // inside block starting at 64
+	if blk[0] != 42 {
+		t.Fatal("ReadBlock must align to block base")
+	}
+}

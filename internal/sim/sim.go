@@ -1,0 +1,221 @@
+// Package sim composes the full machine: cores, TLBs, the 4-level cache
+// hierarchy, the secure NVMM controller, the NVM device, the functional
+// memory image, and the kernel. It is the equivalent of the paper's
+// gem5 full-system configuration (Table 1).
+package sim
+
+import (
+	"fmt"
+
+	"silentshredder/internal/apprt"
+	"silentshredder/internal/cache"
+	"silentshredder/internal/cpu"
+	"silentshredder/internal/hier"
+	"silentshredder/internal/kernel"
+	"silentshredder/internal/memctrl"
+	"silentshredder/internal/nvm"
+	"silentshredder/internal/physmem"
+	"silentshredder/internal/stats"
+)
+
+// Config assembles the per-component configurations.
+type Config struct {
+	Mode     memctrl.Mode
+	ZeroMode kernel.ZeroMode
+
+	Hier    hier.Config
+	NVM     nvm.Config
+	MemCtrl memctrl.Config
+	Kernel  kernel.Config
+
+	// MemPages is the size of the kernel's allocatable physical pool.
+	MemPages int
+
+	// StoreData enables the functional data path (plaintext image +
+	// ciphertext NVM). Timing-only sweeps disable it.
+	StoreData bool
+
+	// VerifyPlaintext cross-checks every controller decrypt against the
+	// functional image (requires StoreData).
+	VerifyPlaintext bool
+}
+
+// Table1Config returns the paper's full Table 1 machine: 8 cores at 2GHz,
+// 64KB/512KB/8MB/64MB caches, 2-channel NVM with 75ns/150ns access, and a
+// 4MB counter cache.
+func Table1Config(mode memctrl.Mode, zm kernel.ZeroMode) Config {
+	return Config{
+		Mode:      mode,
+		ZeroMode:  zm,
+		Hier:      hier.Table1Config(8),
+		NVM:       nvm.DefaultConfig(),
+		MemCtrl:   memctrl.DefaultConfig(mode),
+		Kernel:    kernel.DefaultConfig(zm),
+		MemPages:  512 << 10, // 2GB of allocatable pages
+		StoreData: true,
+	}
+}
+
+// ScaledConfig returns a machine with the Table 1 organization but caches
+// scaled down by the given factor (1 = full size). Experiments use scaled
+// machines so that workloads with simulation-friendly footprints exercise
+// the same capacity effects the paper's full-size runs did.
+func ScaledConfig(mode memctrl.Mode, zm kernel.ZeroMode, scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	cfg := Table1Config(mode, zm)
+	div := func(c *cache.Config) {
+		c.Size /= scale
+		if c.Size < c.Assoc*64 {
+			c.Size = c.Assoc * 64
+		}
+	}
+	div(&cfg.Hier.L1)
+	div(&cfg.Hier.L2)
+	div(&cfg.Hier.L3)
+	div(&cfg.Hier.L4)
+	cfg.MemCtrl.CounterCache.Size /= scale
+	if cfg.MemCtrl.CounterCache.Size < 4096 {
+		cfg.MemCtrl.CounterCache.Size = 4096
+	}
+	return cfg
+}
+
+// Machine is a fully wired simulated system.
+type Machine struct {
+	Cfg    Config
+	Cores  []*cpu.Core
+	Img    *physmem.Image
+	Dev    *nvm.Device
+	MC     *memctrl.Controller
+	Hier   *hier.Hierarchy
+	Kernel *kernel.Kernel
+	Source *kernel.LinearSource
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) (*Machine, error) {
+	cfg.NVM.StoreData = cfg.StoreData
+	cfg.MemCtrl.Mode = cfg.Mode
+	cfg.MemCtrl.VerifyPlaintext = cfg.VerifyPlaintext && cfg.StoreData
+	cfg.Kernel.Mode = cfg.ZeroMode
+
+	img := physmem.New(cfg.StoreData)
+	dev := nvm.New(cfg.NVM)
+	mc, err := memctrl.New(cfg.MemCtrl, dev, img)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	h := hier.New(cfg.Hier, mc)
+	src := kernel.NewLinearSource(0, cfg.MemPages)
+	k, err := kernel.New(cfg.Kernel, h, src)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	m := &Machine{
+		Cfg:    cfg,
+		Img:    img,
+		Dev:    dev,
+		MC:     mc,
+		Hier:   h,
+		Kernel: k,
+		Source: src,
+	}
+	for i := 0; i < cfg.Hier.Cores; i++ {
+		m.Cores = append(m.Cores, cpu.New(i))
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on configuration errors (for tests and
+// benchmarks with static configs).
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Runtime creates an application runtime for a fresh process on core i.
+func (m *Machine) Runtime(core int) *apprt.Runtime {
+	return apprt.New(m.Kernel, core, m.Kernel.NewProcess(), m.Cores[core])
+}
+
+// RuntimeFor binds an existing process to core i.
+func (m *Machine) RuntimeFor(core int, p *kernel.Process) *apprt.Runtime {
+	return apprt.New(m.Kernel, core, p, m.Cores[core])
+}
+
+// TotalInstructions sums retired instructions across cores.
+func (m *Machine) TotalInstructions() uint64 {
+	var n uint64
+	for _, c := range m.Cores {
+		n += c.Instructions()
+	}
+	return n
+}
+
+// MaxCycles returns the slowest core's cycle count (the wall-clock of a
+// multiprogrammed run).
+func (m *Machine) MaxCycles() uint64 {
+	var mx uint64
+	for _, c := range m.Cores {
+		if uint64(c.Cycles()) > mx {
+			mx = uint64(c.Cycles())
+		}
+	}
+	return mx
+}
+
+// AggregateIPC returns total instructions / max cycles across cores — the
+// multiprogrammed IPC metric the paper reports.
+func (m *Machine) AggregateIPC() float64 {
+	cyc := m.MaxCycles()
+	if cyc == 0 {
+		return 0
+	}
+	return float64(m.TotalInstructions()) / float64(cyc)
+}
+
+// Crash models sudden power loss and reboot: all caches lose their
+// contents (dirty data included), the counter cache applies its battery
+// semantics, and the architectural memory image is rebuilt from what the
+// non-volatile device actually holds. After Crash, reads see exactly what
+// survived — the experiment behind the paper's §2.3 persistence argument.
+func (m *Machine) Crash() {
+	m.Hier.Crash()
+	m.MC.Crash()
+	m.MC.RecoverImage()
+	m.Kernel.RecoverJournal()
+}
+
+// ResetStats clears all statistics (cores, caches, controller, device,
+// kernel) without disturbing architectural state — used to exclude
+// warmup from measurement, like the paper's checkpoint-based sampling.
+func (m *Machine) ResetStats() {
+	for _, c := range m.Cores {
+		c.Reset()
+	}
+	m.Hier.ResetStats()
+	m.MC.ResetStats()
+	m.Kernel.ResetStats()
+}
+
+// Registry collects every component's statistics.
+func (m *Machine) Registry() *stats.Registry {
+	r := &stats.Registry{}
+	for i, c := range m.Cores {
+		r.Register(c.StatsSet(fmt.Sprintf("core%d", i)))
+	}
+	r.Register(m.Hier.StatsSet())
+	r.Register(m.MC.StatsSet())
+	r.Register(m.MC.CounterCache().StatsSet())
+	r.Register(m.Dev.StatsSet("nvm"))
+	r.Register(m.Kernel.StatsSet())
+	for i := 0; i < m.Cfg.Hier.Cores; i++ {
+		r.Register(m.Kernel.TLB(i).StatsSet(fmt.Sprintf("tlb%d", i)))
+	}
+	return r
+}

@@ -1,0 +1,239 @@
+// Package stats provides the lightweight instrumentation primitives used
+// throughout the simulator: named counters, running means, histograms, and
+// a registry that components attach their statistics to so the experiment
+// harness can collect and print them uniformly.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Mean accumulates samples and reports their running mean.
+type Mean struct {
+	sum   float64
+	count uint64
+}
+
+// Observe records one sample.
+func (m *Mean) Observe(v float64) {
+	m.sum += v
+	m.count++
+}
+
+// ObserveN records a sample value v occurring n times.
+func (m *Mean) ObserveN(v float64, n uint64) {
+	m.sum += v * float64(n)
+	m.count += n
+}
+
+// Mean returns the running mean, or 0 when no samples were observed.
+func (m *Mean) Mean() float64 {
+	if m.count == 0 {
+		return 0
+	}
+	return m.sum / float64(m.count)
+}
+
+// Count returns the number of samples.
+func (m *Mean) Count() uint64 { return m.count }
+
+// Sum returns the total of all samples.
+func (m *Mean) Sum() float64 { return m.sum }
+
+// Reset clears all samples.
+func (m *Mean) Reset() { m.sum, m.count = 0, 0 }
+
+// Histogram counts samples in power-of-two buckets. Bucket i holds samples
+// v with 2^(i-1) < v <= 2^i (bucket 0 holds v <= 1). It is used for
+// latency distributions.
+type Histogram struct {
+	buckets [64]uint64
+	total   uint64
+	sum     float64
+	max     float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	if v > 1 {
+		i = int(math.Ceil(math.Log2(v)))
+		if i > 63 {
+			i = 63
+		}
+	}
+	h.buckets[i]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the mean of observed samples.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the largest observed sample.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) using
+// the bucket boundaries.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen > target {
+			return math.Pow(2, float64(i))
+		}
+	}
+	return h.max
+}
+
+// Set is an ordered collection of named statistics owned by one component.
+type Set struct {
+	name  string
+	order []string
+	vals  map[string]func() float64
+}
+
+// NewSet creates a named statistics set.
+func NewSet(name string) *Set {
+	return &Set{name: name, vals: make(map[string]func() float64)}
+}
+
+// Name returns the component name of the set.
+func (s *Set) Name() string { return s.name }
+
+// RegisterCounter exposes a counter under the given stat name.
+func (s *Set) RegisterCounter(name string, c *Counter) {
+	s.register(name, func() float64 { return float64(c.Value()) })
+}
+
+// RegisterMean exposes a running mean under the given stat name.
+func (s *Set) RegisterMean(name string, m *Mean) {
+	s.register(name, m.Mean)
+}
+
+// RegisterFunc exposes an arbitrary derived value.
+func (s *Set) RegisterFunc(name string, f func() float64) {
+	s.register(name, f)
+}
+
+func (s *Set) register(name string, f func() float64) {
+	if _, dup := s.vals[name]; !dup {
+		s.order = append(s.order, name)
+	}
+	s.vals[name] = f
+}
+
+// Get returns the current value of a stat and whether it exists.
+func (s *Set) Get(name string) (float64, bool) {
+	f, ok := s.vals[name]
+	if !ok {
+		return 0, false
+	}
+	return f(), true
+}
+
+// Names returns stat names in registration order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// String renders the set as "name{stat=value, ...}".
+func (s *Set) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s{", s.name)
+	for i, n := range s.order {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%.4g", n, s.vals[n]())
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Registry aggregates the Sets of every component in a machine.
+type Registry struct {
+	sets []*Set
+}
+
+// Register adds a component's statistics set.
+func (r *Registry) Register(s *Set) { r.sets = append(r.sets, s) }
+
+// Sets returns all registered sets in registration order.
+func (r *Registry) Sets() []*Set {
+	out := make([]*Set, len(r.sets))
+	copy(out, r.sets)
+	return out
+}
+
+// Lookup returns the value of "component.stat", e.g. "nvm.writes".
+func (r *Registry) Lookup(path string) (float64, bool) {
+	dot := strings.LastIndex(path, ".")
+	if dot < 0 {
+		return 0, false
+	}
+	comp, stat := path[:dot], path[dot+1:]
+	for _, s := range r.sets {
+		if s.name == comp {
+			if v, ok := s.Get(stat); ok {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Dump renders every registered set, one stat per line, sorted by
+// component name for stable output.
+func (r *Registry) Dump() string {
+	sets := r.Sets()
+	sort.SliceStable(sets, func(i, j int) bool { return sets[i].name < sets[j].name })
+	var b strings.Builder
+	for _, s := range sets {
+		for _, n := range s.Names() {
+			v, _ := s.Get(n)
+			fmt.Fprintf(&b, "%s.%s = %.6g\n", s.name, n, v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("zero value must be 0")
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Mean() != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	m.Observe(2)
+	m.Observe(4)
+	m.ObserveN(6, 2)
+	if got := m.Mean(); got != 4.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if m.Count() != 4 || m.Sum() != 18 {
+		t.Fatalf("Count/Sum = %d/%v", m.Count(), m.Sum())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	if got := h.Mean(); math.Abs(got-221.2) > 1e-9 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if q := h.Quantile(0.5); q < 2 || q > 4 {
+		t.Fatalf("median bucket bound = %v", q)
+	}
+	if q := h.Quantile(1.0); q < 1000 {
+		t.Fatalf("p100 bound = %v", q)
+	}
+}
+
+// Property: the quantile upper bound is monotone in q and bounds the mean
+// sample bucket correctly.
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(samples []uint16) bool {
+		var h Histogram
+		for _, s := range samples {
+			h.Observe(float64(s))
+		}
+		prev := 0.0
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetAndRegistry(t *testing.T) {
+	var c Counter
+	var m Mean
+	s := NewSet("nvm")
+	s.RegisterCounter("writes", &c)
+	s.RegisterMean("lat", &m)
+	s.RegisterFunc("two", func() float64 { return 2 })
+
+	c.Add(7)
+	m.Observe(10)
+
+	if v, ok := s.Get("writes"); !ok || v != 7 {
+		t.Fatalf("Get writes = %v %v", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("missing stat must not resolve")
+	}
+	if got := s.Names(); len(got) != 3 || got[0] != "writes" {
+		t.Fatalf("Names = %v", got)
+	}
+
+	var r Registry
+	r.Register(s)
+	if v, ok := r.Lookup("nvm.lat"); !ok || v != 10 {
+		t.Fatalf("Lookup = %v %v", v, ok)
+	}
+	if _, ok := r.Lookup("nope.writes"); ok {
+		t.Fatal("unknown component must not resolve")
+	}
+	if _, ok := r.Lookup("noDot"); ok {
+		t.Fatal("path without dot must not resolve")
+	}
+	dump := r.Dump()
+	if !strings.Contains(dump, "nvm.writes = 7") {
+		t.Fatalf("Dump missing counter: %q", dump)
+	}
+}
+
+func TestSetDuplicateRegistration(t *testing.T) {
+	s := NewSet("x")
+	s.RegisterFunc("v", func() float64 { return 1 })
+	s.RegisterFunc("v", func() float64 { return 2 })
+	if got := len(s.Names()); got != 1 {
+		t.Fatalf("duplicate names registered: %v", s.Names())
+	}
+	if v, _ := s.Get("v"); v != 2 {
+		t.Fatalf("later registration must win, got %v", v)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig X", "bench", "value")
+	tb.AddRow("mcf", 0.5)
+	tb.AddRow("lbm", 12345.0)
+	out := tb.String()
+	for _, want := range []string{"Fig X", "bench", "mcf", "0.5000", "12345"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("GeoMean = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{1, -1}); got != 0 {
+		t.Fatalf("GeoMean with nonpositive = %v", got)
+	}
+	if got := ArithMean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("ArithMean = %v", got)
+	}
+	if got := ArithMean(nil); got != 0 {
+		t.Fatalf("ArithMean(nil) = %v", got)
+	}
+}

@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"silentshredder/internal/apprt"
+)
+
+func BenchmarkWriteRecord(b *testing.B) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	op := apprt.TraceOp{Kind: apprt.TraceLoad, VA: 0x1234, Arg: 7}
+	b.SetBytes(17)
+	for i := 0; i < b.N; i++ {
+		w.Write(op)
+	}
+}
+
+func BenchmarkReadRecord(b *testing.B) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 10000; i++ {
+		w.Write(apprt.TraceOp{Kind: apprt.TraceStore, VA: 1, Arg: 2})
+	}
+	w.Flush()
+	data := buf.Bytes()
+	b.SetBytes(17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 10000 {
+		r, _ := NewReader(bytes.NewReader(data))
+		for {
+			if _, err := r.Next(); err != nil {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package wearlevel
+
+import "testing"
+
+func BenchmarkMap(b *testing.B) {
+	s := New(1<<20, 100)
+	for i := 0; i < 5000; i++ {
+		s.RecordWrite()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Map(i & (1<<20 - 1))
+	}
+}
+
+func BenchmarkRecordWrite(b *testing.B) {
+	s := New(1<<20, 100)
+	for i := 0; i < b.N; i++ {
+		s.RecordWrite()
+	}
+}

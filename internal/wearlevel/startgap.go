@@ -1,0 +1,118 @@
+// Package wearlevel implements Start-Gap wear leveling (Qureshi et al.,
+// MICRO 2009 — reference [30] of the paper). Silent Shredder's write
+// elimination extends NVM lifetime by reducing write *volume*; Start-Gap
+// is the complementary, orthogonal technique the paper cites for
+// spreading the remaining writes *uniformly* across lines. The package
+// exists so endurance experiments can combine both.
+//
+// Start-Gap manages a region of N logical lines over N+1 physical lines;
+// the extra line is the "gap". Every psi writes, the gap moves down by
+// one line (one line is copied into the old gap), and after N+1 gap
+// movements every line has shifted by one — a slow rotation that decouples
+// logical hot spots from physical cells using just two registers (Start
+// and Gap) and one spare line.
+package wearlevel
+
+import (
+	"fmt"
+
+	"silentshredder/internal/stats"
+)
+
+// StartGap is the remapping state for one region. The whole state is two
+// counters (the movement count and the writes-since-last-move), matching
+// the technique's two-register hardware cost.
+type StartGap struct {
+	n   int // logical lines
+	psi int // writes between gap movements
+	k   int // total gap movements performed
+
+	sinceMove int
+	writes    stats.Counter
+	moves     stats.Counter
+}
+
+// New creates a Start-Gap mapper for n logical lines with a gap movement
+// every psi writes (the paper's reference uses psi=100).
+func New(n, psi int) *StartGap {
+	if n <= 0 || psi <= 0 {
+		panic(fmt.Sprintf("wearlevel: invalid geometry n=%d psi=%d", n, psi))
+	}
+	return &StartGap{n: n, psi: psi}
+}
+
+// Lines returns the logical line count.
+func (s *StartGap) Lines() int { return s.n }
+
+// PhysicalLines returns the physical line count (logical + the gap line).
+func (s *StartGap) PhysicalLines() int { return s.n + 1 }
+
+// Gap returns the current physical position of the gap line. The gap
+// starts at slot n and walks downward one slot per movement, wrapping
+// around the n+1 physical slots.
+func (s *StartGap) Gap() int {
+	return ((s.n-s.k)%(s.n+1) + s.n + 1) % (s.n + 1)
+}
+
+// Map translates a logical line to its current physical line.
+//
+// Line l starts at slot l and is copied one slot upward (mod n+1) each
+// time the walking gap reaches the slot above it. That happens first at
+// movement n-l and then every n movements (one revolution of the gap
+// takes n+1 movements, but each copy moves the line one slot closer to
+// the approaching gap), so after k movements line l has been copied
+// 1 + floor((k-(n-l))/n) times.
+func (s *StartGap) Map(logical int) int {
+	if logical < 0 || logical >= s.n {
+		panic(fmt.Sprintf("wearlevel: logical line %d out of range", logical))
+	}
+	copies := 0
+	if first := s.n - logical; s.k >= first {
+		copies = (s.k-first)/s.n + 1
+	}
+	return (logical + copies) % (s.n + 1)
+}
+
+// RecordWrite accounts one line write to the region and reports whether
+// it triggered a gap movement. A movement copies the physical line
+// `from` into the physical line `to` (the old gap) — one read plus one
+// write of overhead the caller charges to the device.
+func (s *StartGap) RecordWrite() (moved bool, from, to int) {
+	s.writes.Inc()
+	s.sinceMove++
+	if s.sinceMove < s.psi {
+		return false, 0, 0
+	}
+	s.sinceMove = 0
+	s.moves.Inc()
+	// The line just below the gap (mod n+1) moves into the gap and the
+	// gap decrements, wrapping from slot 0 back to slot n.
+	to = s.Gap()
+	from = (to + s.n) % (s.n + 1)
+	s.k++
+	return true, from, to
+}
+
+// Writes returns total writes recorded.
+func (s *StartGap) Writes() uint64 { return s.writes.Value() }
+
+// Moves returns total gap movements (each one line copy of overhead).
+func (s *StartGap) Moves() uint64 { return s.moves.Value() }
+
+// Overhead returns the write amplification from gap movement
+// (moves/writes, asymptotically 1/psi).
+func (s *StartGap) Overhead() float64 {
+	if s.writes.Value() == 0 {
+		return 0
+	}
+	return float64(s.moves.Value()) / float64(s.writes.Value())
+}
+
+// StatsSet exposes wear-leveling statistics.
+func (s *StartGap) StatsSet() *stats.Set {
+	set := stats.NewSet("startgap")
+	set.RegisterCounter("writes", &s.writes)
+	set.RegisterCounter("moves", &s.moves)
+	set.RegisterFunc("overhead", s.Overhead)
+	return set
+}

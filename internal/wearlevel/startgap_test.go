@@ -1,0 +1,185 @@
+package wearlevel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryValidation(t *testing.T) {
+	for _, c := range []struct{ n, psi int }{{0, 1}, {1, 0}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("n=%d psi=%d: want panic", c.n, c.psi)
+				}
+			}()
+			New(c.n, c.psi)
+		}()
+	}
+	s := New(8, 4)
+	if s.Lines() != 8 || s.PhysicalLines() != 9 {
+		t.Fatalf("lines = %d/%d", s.Lines(), s.PhysicalLines())
+	}
+}
+
+func TestInitialMappingIsIdentity(t *testing.T) {
+	s := New(16, 10)
+	for l := 0; l < 16; l++ {
+		if s.Map(l) != l {
+			t.Fatalf("Map(%d) = %d before any movement", l, s.Map(l))
+		}
+	}
+}
+
+func TestMapRangePanics(t *testing.T) {
+	s := New(4, 2)
+	for _, l := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Map(%d): want panic", l)
+				}
+			}()
+			s.Map(l)
+		}()
+	}
+}
+
+// Property: after any number of gap movements, the mapping remains a
+// bijection from logical lines into physical slots, never using the gap.
+func TestMappingBijectionProperty(t *testing.T) {
+	f := func(nSeed, moves uint8) bool {
+		n := int(nSeed%30) + 2
+		s := New(n, 1) // every write moves the gap
+		for m := 0; m < int(moves); m++ {
+			s.RecordWrite()
+			seen := make(map[int]bool)
+			for l := 0; l < n; l++ {
+				p := s.Map(l)
+				if p < 0 || p > n || p == s.Gap() || seen[p] {
+					return false
+				}
+				seen[p] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: each movement relocates exactly one logical line, and that
+// relocation matches the (from, to) copy the mapper reports — i.e. data
+// copied by the caller stays consistent with the mapping.
+func TestMovementConsistencyProperty(t *testing.T) {
+	f := func(nSeed uint8, moves uint16) bool {
+		n := int(nSeed%20) + 2
+		s := New(n, 1)
+		// phys[p] = logical line stored there (-1 = gap).
+		phys := make([]int, n+1)
+		for l := 0; l < n; l++ {
+			phys[l] = l
+		}
+		phys[n] = -1
+		for m := 0; m < int(moves%300); m++ {
+			moved, from, to := s.RecordWrite()
+			if !moved {
+				return false // psi=1: every write moves
+			}
+			if phys[to] != -1 {
+				return false // must copy into the gap
+			}
+			phys[to] = phys[from]
+			phys[from] = -1
+			// Every logical line must be found where Map says.
+			for l := 0; l < n; l++ {
+				if phys[s.Map(l)] != l {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPsiControlsMovementRate(t *testing.T) {
+	s := New(8, 10)
+	for i := 0; i < 9; i++ {
+		if moved, _, _ := s.RecordWrite(); moved {
+			t.Fatalf("moved after %d writes, psi=10", i+1)
+		}
+	}
+	if moved, _, _ := s.RecordWrite(); !moved {
+		t.Fatal("10th write must move the gap")
+	}
+	if s.Moves() != 1 || s.Writes() != 10 {
+		t.Fatalf("moves/writes = %d/%d", s.Moves(), s.Writes())
+	}
+	if got := s.Overhead(); got != 0.1 {
+		t.Fatalf("Overhead = %v", got)
+	}
+}
+
+func TestOverheadEmptyIsZero(t *testing.T) {
+	if New(4, 2).Overhead() != 0 {
+		t.Fatal("no writes, no overhead")
+	}
+}
+
+// The whole point: under a write pattern that hammers one logical line,
+// Start-Gap spreads physical wear while the unleveled device concentrates
+// it. Wear ratio (max/mean) must improve by a large factor over enough
+// rotations.
+func TestWearLevelingSpreadsHotLine(t *testing.T) {
+	const n = 16
+	const writes = 50_000
+	rng := rand.New(rand.NewSource(1))
+
+	wearWith := make([]int, n+1)
+	wearWithout := make([]int, n+1)
+	s := New(n, 8)
+	for i := 0; i < writes; i++ {
+		// 90% of writes hit line 3 (a hot counter block, say).
+		l := 3
+		if rng.Float64() > 0.9 {
+			l = rng.Intn(n)
+		}
+		wearWithout[l]++
+		wearWith[s.Map(l)]++
+		if moved, from, to := s.RecordWrite(); moved {
+			// The copy itself wears the destination.
+			wearWith[to]++
+			_ = from
+		}
+	}
+	maxOf := func(xs []int) int {
+		m := 0
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	rawMax, leveledMax := maxOf(wearWithout), maxOf(wearWith)
+	if leveledMax*2 >= rawMax {
+		t.Fatalf("start-gap max wear %d vs raw %d: insufficient leveling", leveledMax, rawMax)
+	}
+}
+
+func TestStatsSet(t *testing.T) {
+	s := New(4, 1)
+	s.RecordWrite()
+	set := s.StatsSet()
+	if v, ok := set.Get("moves"); !ok || v != 1 {
+		t.Fatalf("moves = %v %v", v, ok)
+	}
+	if v, _ := set.Get("overhead"); v != 1 {
+		t.Fatalf("overhead = %v", v)
+	}
+}

@@ -1,0 +1,35 @@
+package graph
+
+import (
+	"testing"
+
+	"silentshredder/internal/kernel"
+	"silentshredder/internal/memctrl"
+	"silentshredder/internal/sim"
+)
+
+func benchRT(b *testing.B) func() *Graph {
+	b.Helper()
+	return func() *Graph {
+		cfg := sim.ScaledConfig(memctrl.SilentShredder, kernel.ZeroShred, 64)
+		cfg.Hier.Cores = 1
+		cfg.MemPages = 1 << 16
+		m := sim.MustNew(cfg)
+		return Build(m.Runtime(0), Gen{V: 512, E: 4096, Seed: 1, Skew: 1.2})
+	}
+}
+
+func BenchmarkBuildCSR(b *testing.B) {
+	mk := benchRT(b)
+	for i := 0; i < b.N; i++ {
+		mk()
+	}
+}
+
+func BenchmarkPageRankIteration(b *testing.B) {
+	g := benchRT(b)()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PageRank(1)
+	}
+}

@@ -1,0 +1,24 @@
+package spec
+
+import (
+	"testing"
+
+	"silentshredder/internal/kernel"
+	"silentshredder/internal/memctrl"
+	"silentshredder/internal/sim"
+)
+
+// BenchmarkProfileRun measures simulator throughput on a SPEC profile
+// (simulated operations include translation, caches and the controller).
+func BenchmarkProfileRun(b *testing.B) {
+	p, _ := ByName("gcc")
+	p.InitPages = 64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.ScaledConfig(memctrl.SilentShredder, kernel.ZeroShred, 64)
+		cfg.Hier.Cores = 1
+		cfg.StoreData = false
+		cfg.MemPages = 1 << 16
+		m := sim.MustNew(cfg)
+		Run(m.Runtime(0), p, 1)
+	}
+}

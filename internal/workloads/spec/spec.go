@@ -1,0 +1,171 @@
+// Package spec provides synthetic stand-ins for the 26 SPEC CPU2006
+// benchmarks the paper runs (one instance per core, rate style, §5).
+//
+// Shipping SPEC is impossible, so each benchmark is replaced by a
+// deterministic access-pattern profile capturing the properties the
+// paper's figures actually depend on:
+//
+//   - how much memory the initialization phase allocates (every page of
+//     which the kernel shreds before mapping),
+//   - how densely the application then writes those pages (writes that
+//     must reach NVM regardless of shredding strategy),
+//   - how much of its freshly allocated memory it reads before writing
+//     (reads Silent Shredder satisfies with zero-fill),
+//   - its memory intensity (compute per memory op — the lever that turns
+//     memory-latency savings into IPC).
+//
+// The per-benchmark parameters are calibrated so the *relationships* in
+// Figures 8-11 hold (e.g. low-write-rate codes like h264ref/dealII/hmmer
+// get nearly all their main-memory writes from kernel zeroing and show
+// the largest savings; bandwidth-bound codes like lbm/bwaves write their
+// pages densely and save less; bwaves' long store bursts make it the
+// IPC outlier). Absolute SPEC microarchitecture is explicitly not
+// reproduced — see DESIGN.md §2.
+package spec
+
+import (
+	"math/rand"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/apprt"
+)
+
+// Profile describes one synthetic benchmark.
+type Profile struct {
+	Name string
+
+	// InitPages is the number of pages the init phase allocates and
+	// touches (per core instance).
+	InitPages int
+
+	// InitWriteFrac is the fraction of each allocated page's 64 blocks
+	// the init phase stores to.
+	InitWriteFrac float64
+
+	// InitReadFrac is the fraction of each allocated page's blocks the
+	// init phase loads (dominated by blocks it never wrote — exactly
+	// the reads shredding turns into zero-fills).
+	InitReadFrac float64
+
+	// SteadyOpsPerPage scales the post-init access loop.
+	SteadyOpsPerPage int
+
+	// SteadyWriteFrac is the store fraction of steady-state ops.
+	SteadyWriteFrac float64
+
+	// SteadyFreshReadFrac is the fraction of steady-state loads that
+	// touch never-written (zero-initialized) blocks — sparse-structure
+	// walks — rather than the data the program wrote. It controls how
+	// much of the zero-fill benefit persists past initialization.
+	SteadyFreshReadFrac float64
+
+	// ComputePerOp is the non-memory instruction count between memory
+	// operations (lower = more memory bound).
+	ComputePerOp int
+
+	// Locality is the probability a steady-state access reuses the
+	// previous page (higher = cache friendlier).
+	Locality float64
+}
+
+// Profiles lists the paper's 26 SPEC CPU2006 workloads in the order of
+// Figure 8's x-axis.
+var Profiles = []Profile{
+	{Name: "h264", InitPages: 326, InitWriteFrac: 0.06, InitReadFrac: 0.50, SteadyOpsPerPage: 1920, SteadyWriteFrac: 0.08, SteadyFreshReadFrac: 0.05, ComputePerOp: 42, Locality: 0.92},
+	{Name: "lbm", InitPages: 640, InitWriteFrac: 1.00, InitReadFrac: 0.30, SteadyOpsPerPage: 252, SteadyWriteFrac: 0.55, SteadyFreshReadFrac: 0.25, ComputePerOp: 6, Locality: 0.35},
+	{Name: "leslie3d", InitPages: 448, InitWriteFrac: 0.60, InitReadFrac: 0.45, SteadyOpsPerPage: 480, SteadyWriteFrac: 0.35, SteadyFreshReadFrac: 0.25, ComputePerOp: 10, Locality: 0.55},
+	{Name: "libquantum", InitPages: 512, InitWriteFrac: 0.90, InitReadFrac: 0.65, SteadyOpsPerPage: 288, SteadyWriteFrac: 0.30, SteadyFreshReadFrac: 0.25, ComputePerOp: 8, Locality: 0.30},
+	{Name: "milc", InitPages: 448, InitWriteFrac: 0.55, InitReadFrac: 0.50, SteadyOpsPerPage: 528, SteadyWriteFrac: 0.40, SteadyFreshReadFrac: 0.25, ComputePerOp: 9, Locality: 0.45},
+	{Name: "namd", InitPages: 380, InitWriteFrac: 0.22, InitReadFrac: 0.40, SteadyOpsPerPage: 2240, SteadyWriteFrac: 0.15, SteadyFreshReadFrac: 0.05, ComputePerOp: 30, Locality: 0.85},
+	{Name: "omnetpp", InitPages: 320, InitWriteFrac: 0.45, InitReadFrac: 0.55, SteadyOpsPerPage: 480, SteadyWriteFrac: 0.30, SteadyFreshReadFrac: 0.15, ComputePerOp: 14, Locality: 0.40},
+	{Name: "perl", InitPages: 435, InitWriteFrac: 0.32, InitReadFrac: 0.45, SteadyOpsPerPage: 512, SteadyWriteFrac: 0.25, SteadyFreshReadFrac: 0.08, ComputePerOp: 20, Locality: 0.75},
+	{Name: "povray", InitPages: 272, InitWriteFrac: 0.08, InitReadFrac: 0.42, SteadyOpsPerPage: 1600, SteadyWriteFrac: 0.10, SteadyFreshReadFrac: 0.05, ComputePerOp: 38, Locality: 0.90},
+	{Name: "sjeng", InitPages: 435, InitWriteFrac: 0.30, InitReadFrac: 0.40, SteadyOpsPerPage: 2400, SteadyWriteFrac: 0.20, SteadyFreshReadFrac: 0.05, ComputePerOp: 24, Locality: 0.80},
+	{Name: "soplex", InitPages: 416, InitWriteFrac: 0.62, InitReadFrac: 0.50, SteadyOpsPerPage: 528, SteadyWriteFrac: 0.30, SteadyFreshReadFrac: 0.25, ComputePerOp: 11, Locality: 0.50},
+	{Name: "sphinix", InitPages: 320, InitWriteFrac: 0.40, InitReadFrac: 0.55, SteadyOpsPerPage: 432, SteadyWriteFrac: 0.25, SteadyFreshReadFrac: 0.15, ComputePerOp: 16, Locality: 0.60},
+	{Name: "xalan", InitPages: 352, InitWriteFrac: 0.45, InitReadFrac: 0.50, SteadyOpsPerPage: 480, SteadyWriteFrac: 0.30, SteadyFreshReadFrac: 0.15, ComputePerOp: 13, Locality: 0.55},
+	{Name: "zeus", InitPages: 416, InitWriteFrac: 0.58, InitReadFrac: 0.45, SteadyOpsPerPage: 504, SteadyWriteFrac: 0.35, SteadyFreshReadFrac: 0.25, ComputePerOp: 10, Locality: 0.50},
+	{Name: "astar", InitPages: 352, InitWriteFrac: 0.52, InitReadFrac: 0.48, SteadyOpsPerPage: 456, SteadyWriteFrac: 0.28, SteadyFreshReadFrac: 0.15, ComputePerOp: 15, Locality: 0.55},
+	{Name: "bzip", InitPages: 384, InitWriteFrac: 0.58, InitReadFrac: 0.45, SteadyOpsPerPage: 480, SteadyWriteFrac: 0.32, SteadyFreshReadFrac: 0.15, ComputePerOp: 12, Locality: 0.60},
+	{Name: "bwaves", InitPages: 576, InitWriteFrac: 0.80, InitReadFrac: 0.75, SteadyOpsPerPage: 64, SteadyWriteFrac: 0.40, SteadyFreshReadFrac: 0.45, ComputePerOp: 3, Locality: 0.30},
+	{Name: "mcf", InitPages: 512, InitWriteFrac: 0.72, InitReadFrac: 0.60, SteadyOpsPerPage: 288, SteadyWriteFrac: 0.35, SteadyFreshReadFrac: 0.25, ComputePerOp: 7, Locality: 0.25},
+	{Name: "cactus", InitPages: 416, InitWriteFrac: 0.55, InitReadFrac: 0.50, SteadyOpsPerPage: 480, SteadyWriteFrac: 0.30, SteadyFreshReadFrac: 0.15, ComputePerOp: 12, Locality: 0.55},
+	{Name: "deal", InitPages: 299, InitWriteFrac: 0.05, InitReadFrac: 0.45, SteadyOpsPerPage: 1760, SteadyWriteFrac: 0.08, SteadyFreshReadFrac: 0.05, ComputePerOp: 40, Locality: 0.92},
+	{Name: "gamess", InitPages: 326, InitWriteFrac: 0.10, InitReadFrac: 0.40, SteadyOpsPerPage: 1920, SteadyWriteFrac: 0.10, SteadyFreshReadFrac: 0.05, ComputePerOp: 36, Locality: 0.90},
+	{Name: "gcc", InitPages: 320, InitWriteFrac: 0.38, InitReadFrac: 0.50, SteadyOpsPerPage: 432, SteadyWriteFrac: 0.28, SteadyFreshReadFrac: 0.15, ComputePerOp: 16, Locality: 0.65},
+	{Name: "gems", InitPages: 480, InitWriteFrac: 0.65, InitReadFrac: 0.55, SteadyOpsPerPage: 552, SteadyWriteFrac: 0.35, SteadyFreshReadFrac: 0.25, ComputePerOp: 8, Locality: 0.40},
+	{Name: "go", InitPages: 435, InitWriteFrac: 0.26, InitReadFrac: 0.42, SteadyOpsPerPage: 2400, SteadyWriteFrac: 0.18, SteadyFreshReadFrac: 0.05, ComputePerOp: 26, Locality: 0.80},
+	{Name: "gromacs", InitPages: 380, InitWriteFrac: 0.20, InitReadFrac: 0.40, SteadyOpsPerPage: 2240, SteadyWriteFrac: 0.15, SteadyFreshReadFrac: 0.05, ComputePerOp: 28, Locality: 0.85},
+	{Name: "hmmer", InitPages: 299, InitWriteFrac: 0.05, InitReadFrac: 0.48, SteadyOpsPerPage: 1760, SteadyWriteFrac: 0.06, SteadyFreshReadFrac: 0.05, ComputePerOp: 40, Locality: 0.92},
+}
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Run executes the profile on the runtime. seed varies the instance
+// (each core of a rate-mode run uses a different seed).
+func Run(rt *apprt.Runtime, p Profile, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	base := rt.Malloc(p.InitPages * addr.PageSize)
+
+	blockVA := func(page, block int) addr.Virt {
+		return base + addr.Virt(page*addr.PageSize+block*addr.BlockSize)
+	}
+
+	// --- Initialization phase: allocate, write sparsely, read around ---
+	writeBlocks := int(p.InitWriteFrac*addr.BlocksPerPage + 0.5)
+	if writeBlocks == 0 {
+		// Even write-light codes touch something in each page
+		// (metadata/headers), which is what triggers allocation.
+		writeBlocks = 1
+	}
+	readBlocks := int(p.InitReadFrac*addr.BlocksPerPage + 0.5)
+	perms := make([][]int, p.InitPages)
+	for pg := 0; pg < p.InitPages; pg++ {
+		// First store faults the page in (kernel shreds/zeroes it).
+		perm := rng.Perm(addr.BlocksPerPage)
+		perms[pg] = perm
+		for i := 0; i < writeBlocks; i++ {
+			rt.Store(blockVA(pg, perm[i]), rng.Uint64())
+			rt.Compute(uint64(p.ComputePerOp))
+		}
+		// Reads within the freshly allocated page: mostly blocks the
+		// app never wrote (zero-initialized structures being walked).
+		for i := 0; i < readBlocks; i++ {
+			rt.Load(blockVA(pg, perm[(writeBlocks+i)%addr.BlocksPerPage]))
+			rt.Compute(uint64(p.ComputePerOp))
+		}
+	}
+
+	// --- Steady phase: locality-shaped loop over the working set ---
+	// Stores update the data structures the init phase created (the
+	// blocks it wrote); loads walk the whole page, including its
+	// zero-initialized remainder.
+	ops := p.SteadyOpsPerPage * p.InitPages
+	page := 0
+	for i := 0; i < ops; i++ {
+		if rng.Float64() >= p.Locality {
+			page = rng.Intn(p.InitPages)
+		}
+		switch {
+		case rng.Float64() < p.SteadyWriteFrac:
+			blk := perms[page][rng.Intn(writeBlocks)]
+			rt.Store(blockVA(page, blk), rng.Uint64())
+		case rng.Float64() < p.SteadyFreshReadFrac:
+			// Sparse walk: lands mostly on zero-initialized blocks.
+			rt.Load(blockVA(page, rng.Intn(addr.BlocksPerPage)))
+		default:
+			// Reads of the program's own data structures.
+			blk := perms[page][rng.Intn(writeBlocks)]
+			rt.Load(blockVA(page, blk))
+		}
+		rt.Compute(uint64(p.ComputePerOp))
+	}
+}
