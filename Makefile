@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench quick-experiments experiments examples clean
+.PHONY: all build test vet race bench quick-experiments experiments examples clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,13 @@ vet:
 test:
 	$(GO) test ./...
 
+# Tier-1 race gate: the parallel sweep engine fans independent machines
+# out across goroutines; every run must stay confined to its worker.
+# This exercises the worker pool (determinism tests run with -parallel 4)
+# under the race detector and must pass before merging.
+race:
+	$(GO) test -race ./...
+
 # Full test run recorded to test_output.txt (what EXPERIMENTS.md cites).
 test-record:
 	$(GO) test ./... 2>&1 | tee test_output.txt
@@ -23,13 +30,16 @@ test-record:
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
-# Fast smoke pass over every experiment (~1 minute).
+# Fast smoke pass over every experiment (~1 minute sequential; scales
+# down with -parallel, which defaults to GOMAXPROCS).
 quick-experiments:
 	$(GO) run ./cmd/experiments -quick -cores 2 -scale 64 all
 
-# The full evaluation reproduction (~10 minutes).
+# The full evaluation reproduction (~10 minutes on one core; the sweep
+# engine uses every available core by default — pass PARALLEL=N to pin).
+PARALLEL ?= 0
 experiments:
-	$(GO) run ./cmd/experiments all
+	$(GO) run ./cmd/experiments -parallel $(PARALLEL) all
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"silentshredder/internal/exper"
@@ -26,6 +27,8 @@ func main() {
 	flag.IntVar(&o.Cores, "cores", 8, "simulated cores (one workload instance per core)")
 	flag.IntVar(&o.Scale, "scale", 8, "divide Table 1 cache capacities by this factor")
 	flag.BoolVar(&o.Quick, "quick", false, "shrink workloads for a fast smoke run")
+	flag.IntVar(&o.Parallel, "parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines for independent simulation runs (1 = sequential; output is byte-identical either way)")
 	var workloads string
 	flag.StringVar(&workloads, "workloads", "", "comma-separated subset for fig8-fig11 (default: all 29)")
 	var format string
@@ -45,8 +48,8 @@ func main() {
 	var results []exper.Result
 	comparison := func() []exper.Result {
 		if results == nil {
-			fmt.Fprintf(os.Stderr, "running baseline vs Silent Shredder comparison (%d workloads x %d cores x 2 modes)...\n",
-				lenOr(names, 29), o.Cores)
+			fmt.Fprintf(os.Stderr, "running baseline vs Silent Shredder comparison (%d workloads x %d cores x 2 modes, %d sweep workers)...\n",
+				lenOr(names, 29), o.Cores, o.Parallel)
 			results = exper.CompareAll(o, names)
 		}
 		return results

@@ -1,11 +1,17 @@
-// Command shredsim runs a single workload on the simulated secure-NVMM
-// machine and dumps the full statistics registry — the general-purpose
-// front door to the simulator.
+// Command shredsim runs one or more workloads on the simulated
+// secure-NVMM machine and dumps the full statistics registry — the
+// general-purpose front door to the simulator.
+//
+// -workload accepts a comma-separated list; independent runs are fanned
+// out across -parallel worker goroutines (each machine confined to its
+// worker, statistics crossing back as by-value snapshots) and reported in
+// the order given, so output is byte-identical for any worker count.
 //
 // Examples:
 //
 //	shredsim -workload pagerank -mode ss -zeroing shred
 //	shredsim -workload mcf -mode baseline -zeroing non-temporal -cores 4
+//	shredsim -workload mcf,gcc,pagerank -parallel 3
 //	shredsim -list
 package main
 
@@ -13,28 +19,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"silentshredder/internal/exper"
 	"silentshredder/internal/kernel"
 	"silentshredder/internal/memctrl"
+	"silentshredder/internal/stats"
 	"silentshredder/internal/workloads/spec"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "pagerank", "workload to run (see -list)")
+		workload = flag.String("workload", "pagerank", "workload(s) to run, comma-separated (see -list)")
 		mode     = flag.String("mode", "ss", "memory controller: ss | baseline")
 		zeroing  = flag.String("zeroing", "", "kernel zeroing: shred | non-temporal | temporal (default matches -mode)")
 		cores    = flag.Int("cores", 8, "cores (one workload instance each)")
 		scale    = flag.Int("scale", 8, "divide Table 1 cache capacities by this factor")
 		quick    = flag.Bool("quick", false, "shrink the workload")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines when running several workloads (1 = sequential)")
 		list     = flag.Bool("list", false, "list available workloads and exit")
 
 		deuce     = flag.Bool("deuce", false, "enable DEUCE partial re-encryption")
 		integrity = flag.Bool("integrity", false, "enable the Bonsai Merkle counter tree")
 		ccSize    = flag.Int("counter-cache", 0, "counter cache bytes (0 = Table 1 / scale)")
 		wt        = flag.Bool("write-through", false, "write-through counter cache (no battery needed)")
-		saveNVM   = flag.String("save-nvm", "", "after the run, write a memory-state checkpoint (DIMM image) to this file")
+		saveNVM   = flag.String("save-nvm", "", "after the run, write a memory-state checkpoint (DIMM image) to this file (single workload only)")
 	)
 	flag.Parse()
 
@@ -78,38 +88,106 @@ func main() {
 		os.Exit(2)
 	}
 
-	o := exper.Options{Cores: *cores, Scale: *scale, Quick: *quick}
+	names := splitList(*workload)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "shredsim: no workload given")
+		os.Exit(2)
+	}
+
+	o := exper.Options{Cores: *cores, Scale: *scale, Quick: *quick, Parallel: *parallel}
 	tweak := exper.MachineTweaks{
 		DEUCE:            *deuce,
 		Integrity:        *integrity,
 		CounterCacheSize: *ccSize,
 		WriteThrough:     *wt,
 	}
-	m, err := exper.RunWorkloadTweaked(o, *workload, mcMode, zm, tweak)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
-		os.Exit(1)
-	}
 
-	fmt.Printf("workload=%s mode=%s zeroing=%s cores=%d scale=1/%d\n\n",
-		*workload, mcMode, zm, *cores, *scale)
-	fmt.Printf("aggregate IPC: %.4f\n", m.AggregateIPC())
-	fmt.Printf("instructions:  %d\n", m.TotalInstructions())
-	fmt.Printf("cycles (max):  %d (%.3f ms simulated)\n\n",
-		m.MaxCycles(), float64(m.MaxCycles())/2e9*1e3)
-	fmt.Print(m.Registry().Dump())
-
-	if *saveNVM != "" {
-		f, err := os.Create(*saveNVM)
+	if len(names) == 1 {
+		// Single run in the main goroutine: the machine stays available
+		// for post-run operations like -save-nvm.
+		m, err := exper.RunWorkloadTweaked(o, names[0], mcMode, zm, tweak)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		if err := m.SaveMemoryState(f); err != nil {
-			fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
-			os.Exit(1)
+		fmt.Print(report(names[0], mcMode, zm, *cores, *scale,
+			m.AggregateIPC(), m.TotalInstructions(), m.MaxCycles(), m.Snapshot()))
+		if *saveNVM != "" {
+			f, err := os.Create(*saveNVM)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := m.SaveMemoryState(f); err != nil {
+				fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "memory-state checkpoint written to %s\n", *saveNVM)
 		}
-		fmt.Fprintf(os.Stderr, "memory-state checkpoint written to %s\n", *saveNVM)
+		return
 	}
+
+	if *saveNVM != "" {
+		fmt.Fprintln(os.Stderr, "shredsim: -save-nvm requires a single workload")
+		os.Exit(2)
+	}
+
+	// Multi-workload sweep: one machine per worker goroutine; only plain
+	// values (the report string, built from a stats snapshot) escape a
+	// worker, so the sweep is race-free and its output deterministic.
+	type runOut struct {
+		text string
+		err  error
+	}
+	outs := exper.RunIndexed(*parallel, len(names), func(i int) runOut {
+		m, err := exper.RunWorkloadTweaked(o, names[i], mcMode, zm, tweak)
+		if err != nil {
+			return runOut{err: err}
+		}
+		return runOut{text: report(names[i], mcMode, zm, *cores, *scale,
+			m.AggregateIPC(), m.TotalInstructions(), m.MaxCycles(), m.Snapshot())}
+	})
+	failed := false
+	for i, r := range outs {
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "shredsim: %v\n", r.err)
+			failed = true
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(r.text)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// report renders one run. It takes only plain values (no live machine):
+// workers hand their statistics over as a by-value stats.Snapshot, whose
+// Dump is byte-identical to the live Registry's.
+func report(name string, mcMode memctrl.Mode, zm kernel.ZeroMode, cores, scale int,
+	ipc float64, instructions, maxCycles uint64, snap stats.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload=%s mode=%s zeroing=%s cores=%d scale=1/%d\n\n",
+		name, mcMode, zm, cores, scale)
+	fmt.Fprintf(&b, "aggregate IPC: %.4f\n", ipc)
+	fmt.Fprintf(&b, "instructions:  %d\n", instructions)
+	fmt.Fprintf(&b, "cycles (max):  %d (%.3f ms simulated)\n\n",
+		maxCycles, float64(maxCycles)/2e9*1e3)
+	b.WriteString(snap.Dump())
+	return b.String()
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

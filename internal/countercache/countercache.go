@@ -102,9 +102,12 @@ func (c *Cache) Get(p addr.PageNum) (*ctr.CounterBlock, clock.Cycles, bool) {
 	// Miss: fetch from NVM.
 	c.fetches.Inc()
 	lat := c.cfg.HitLatency + c.dev.ReadBlock(ctrAddr(p), nil)
-	cb := c.region[p] // zero value = fresh page (major 0, all minors 0)
-	copyCB := cb
-	c.install(p, &copyCB, false)
+	// Install the prefetched block *before* the demand block. If both map
+	// to the same (full) set, installing p+1 second could pick the
+	// just-installed demand block as its eviction victim — and Get would
+	// hand the caller a nil *CounterBlock that memctrl.ReadBlock
+	// dereferences. Installing the demand block last makes it the
+	// most-recently-used line, so the prefetch can never displace it.
 	if c.cfg.PrefetchNext {
 		if next := p + 1; c.tags.Probe(ctrAddr(next)) == nil {
 			c.prefetches.Inc()
@@ -113,6 +116,9 @@ func (c *Cache) Get(p addr.PageNum) (*ctr.CounterBlock, clock.Cycles, bool) {
 			c.install(next, &nb, false)
 		}
 	}
+	cb := c.region[p] // zero value = fresh page (major 0, all minors 0)
+	copyCB := cb
+	c.install(p, &copyCB, false)
 	return c.cached[p], lat, false
 }
 
@@ -271,6 +277,7 @@ func (c *Cache) ResetStats() {
 	c.fetches.Reset()
 	c.writebacks.Reset()
 	c.writeThroughs.Reset()
+	c.prefetches.Reset()
 }
 
 // StatsSet exposes counter-cache statistics.

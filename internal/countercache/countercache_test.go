@@ -207,6 +207,67 @@ func TestMissRateAndStats(t *testing.T) {
 	}
 }
 
+// Regression test: with a 1-set counter cache whose ways are full, the
+// next-page prefetch issued on a demand miss used to evict the block the
+// miss had just installed, making Get return a nil *CounterBlock that
+// callers (memctrl.getCounters -> ReadBlock) dereference. The prefetched
+// block must never displace the demand block.
+func TestPrefetchNeverEvictsDemandBlock(t *testing.T) {
+	// 1 set, 1 way: the demand block and its prefetched successor always
+	// contend for the same line.
+	cfg := Config{Size: 64, Assoc: 1, HitLatency: 10, BatteryBacked: true, PrefetchNext: true}
+	cc, _ := newCC(t, cfg)
+	for p := addr.PageNum(0); p < 4; p++ {
+		cb, _, hit := cc.Get(p)
+		if hit {
+			t.Fatalf("page %d: a 1-way cache swept sequentially must miss", p)
+		}
+		if cb == nil {
+			t.Fatalf("page %d: Get returned nil counter block (prefetch evicted the demand block)", p)
+		}
+		// The returned pointer must be the live cached copy: a mutation
+		// through it followed by MarkDirty must persist.
+		cb.Shred()
+		cc.MarkDirty(p)
+	}
+	cc.Flush()
+	for p := addr.PageNum(0); p < 4; p++ {
+		if got := cc.PersistedValue(p); got.Major != 1 {
+			t.Fatalf("page %d: shred through demand block lost (major=%d)", p, got.Major)
+		}
+	}
+
+	// Multi-way single set, full ways: the prefetch must evict the LRU
+	// line, never the just-installed demand block.
+	cfg = Config{Size: 2 * 64, Assoc: 2, HitLatency: 10, BatteryBacked: true, PrefetchNext: true}
+	cc, _ = newCC(t, cfg)
+	cc.Get(0) // installs 0 and prefetches 1: set now full
+	cb, _, _ := cc.Get(10)
+	if cb == nil {
+		t.Fatal("Get(10) returned nil counter block with full ways")
+	}
+	if got := cc.Peek(10); got != *cb {
+		t.Fatal("returned block is not the live cached copy")
+	}
+}
+
+// ResetStats must clear every access statistic, including prefetches.
+func TestResetStatsClearsPrefetches(t *testing.T) {
+	cfg := Config{Size: 64 << 10, Assoc: 8, HitLatency: 10, BatteryBacked: true, PrefetchNext: true}
+	cc, _ := newCC(t, cfg)
+	cc.Get(0)
+	if cc.Prefetches() == 0 {
+		t.Fatal("prefetch not counted")
+	}
+	cc.ResetStats()
+	if cc.Prefetches() != 0 {
+		t.Fatalf("ResetStats left prefetches = %d", cc.Prefetches())
+	}
+	if cc.Hits() != 0 || cc.Misses() != 0 || cc.Writebacks() != 0 {
+		t.Fatal("ResetStats left other stats")
+	}
+}
+
 // The counter region must persist full minor state, not just majors.
 func TestMinorCountersPersistRoundTrip(t *testing.T) {
 	cc, _ := newCC(t, smallCfg())

@@ -33,10 +33,11 @@ func AblationIV(o Options) []AblationIVRow {
 	if o.Quick {
 		cycles, pages = 135, 4
 	}
-	var out []AblationIVRow
-	for _, opt := range []memctrl.ShredOption{
+	options := []memctrl.ShredOption{
 		memctrl.OptionIncMinors, memctrl.OptionIncMajor, memctrl.OptionReserveZero,
-	} {
+	}
+	return runSweep(o, len(options), func(i int) AblationIVRow {
+		opt := options[i]
 		cfg := sim.ScaledConfig(memctrl.SilentShredder, kernel.ZeroShred, 64)
 		cfg.Hier.Cores = 1
 		cfg.MemPages = 1 << 14
@@ -73,14 +74,13 @@ func AblationIV(o Options) []AblationIVRow {
 				break
 			}
 		}
-		out = append(out, AblationIVRow{
+		return AblationIVRow{
 			Option:        opt.String(),
 			Reencryptions: m.MC.Reencryptions(),
 			NVMWrites:     m.Dev.Writes(),
 			ReadsAreZero:  readsZero,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // AblationIVTable formats the IV-option ablation.
@@ -143,12 +143,20 @@ func AblationDCW(o Options) []AblationDCWRow {
 		}
 		return row
 	}
-	return []AblationDCWRow{
-		run("plaintext + DCW", nvm.DCW, false),
-		run("plaintext + FNW", nvm.FNW, false),
-		run("encrypted + DCW", nvm.DCW, true),
-		run("encrypted + FNW", nvm.FNW, true),
+	configs := []struct {
+		name      string
+		mode      nvm.WriteMode
+		encrypted bool
+	}{
+		{"plaintext + DCW", nvm.DCW, false},
+		{"plaintext + FNW", nvm.FNW, false},
+		{"encrypted + DCW", nvm.DCW, true},
+		{"encrypted + FNW", nvm.FNW, true},
 	}
+	return runSweep(o, len(configs), func(i int) AblationDCWRow {
+		c := configs[i]
+		return run(c.name, c.mode, c.encrypted)
+	})
 }
 
 // AblationDCWTable formats the diffusion ablation.
@@ -210,11 +218,12 @@ func AblationDeuce(o Options) []AblationDeuceRow {
 		}
 		return flips, m.Dev.Writes()
 	}
-	var out []AblationDeuceRow
-	for _, c := range []struct {
+	configs := []struct {
 		name  string
 		deuce bool
-	}{{"counter-mode", false}, {"counter-mode + DEUCE", true}} {
+	}{{"counter-mode", false}, {"counter-mode + DEUCE", true}}
+	return runSweep(o, len(configs), func(i int) AblationDeuceRow {
+		c := configs[i]
 		blFlips, blWrites := run(memctrl.Baseline, kernel.ZeroNonTemporal, c.deuce)
 		ssFlips, ssWrites := run(memctrl.SilentShredder, kernel.ZeroShred, c.deuce)
 		_ = blFlips
@@ -222,9 +231,8 @@ func AblationDeuce(o Options) []AblationDeuceRow {
 		if blWrites > 0 {
 			row.WriteSavings = 1 - float64(ssWrites)/float64(blWrites)
 		}
-		out = append(out, row)
-	}
-	return out
+		return row
+	})
 }
 
 // AblationDeuceTable formats the DEUCE composition ablation.
@@ -266,10 +274,13 @@ func AblationWT(o Options) []AblationWTRow {
 			IPC:          m.AggregateIPC(),
 		}
 	}
-	return []AblationWTRow{
-		run("write-back (battery)", false),
-		run("write-through", true),
-	}
+	configs := []struct {
+		name string
+		wt   bool
+	}{{"write-back (battery)", false}, {"write-through", true}}
+	return runSweep(o, len(configs), func(i int) AblationWTRow {
+		return run(configs[i].name, configs[i].wt)
+	})
 }
 
 // AblationWTTable formats the persistence-strategy ablation.
@@ -310,10 +321,13 @@ func AblationMerkle(o Options) []AblationMerkleRow {
 		touchAndScan(rt, 2048)
 		return AblationMerkleRow{Config: name, IPC: m.AggregateIPC()}
 	}
-	return []AblationMerkleRow{
-		run("no integrity tree", false),
-		run("bonsai merkle tree", true),
-	}
+	configs := []struct {
+		name   string
+		enable bool
+	}{{"no integrity tree", false}, {"bonsai merkle tree", true}}
+	return runSweep(o, len(configs), func(i int) AblationMerkleRow {
+		return run(configs[i].name, configs[i].enable)
+	})
 }
 
 // AblationMerkleTable formats the integrity ablation.
@@ -369,10 +383,18 @@ func AblationWQ(o Options) []AblationWQRow {
 			MeanReadLat:  m.MC.MeanReadLatency(),
 		}
 	}
-	return []AblationWQRow{
-		run("baseline (non-temporal zeroing)", memctrl.Baseline, kernel.ZeroNonTemporal),
-		run("silent shredder", memctrl.SilentShredder, kernel.ZeroShred),
+	configs := []struct {
+		name string
+		mode memctrl.Mode
+		zm   kernel.ZeroMode
+	}{
+		{"baseline (non-temporal zeroing)", memctrl.Baseline, kernel.ZeroNonTemporal},
+		{"silent shredder", memctrl.SilentShredder, kernel.ZeroShred},
 	}
+	return runSweep(o, len(configs), func(i int) AblationWQRow {
+		c := configs[i]
+		return run(c.name, c.mode, c.zm)
+	})
 }
 
 // AblationWQTable formats the write-queue ablation.

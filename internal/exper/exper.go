@@ -30,6 +30,11 @@ type Options struct {
 	Scale int
 	// Quick shrinks workload sizes for smoke tests.
 	Quick bool
+	// Parallel is the number of worker goroutines independent simulation
+	// runs are fanned out across (the `-parallel` flag). 0 defaults to
+	// GOMAXPROCS; 1 forces a sequential sweep. Results are merged in
+	// submission order, so output is byte-identical for any value.
+	Parallel int
 }
 
 // DefaultOptions returns the standard experiment scale: the paper's 8
@@ -339,16 +344,25 @@ func Compare(o Options, name string) Result {
 }
 
 // CompareAll runs Compare for each named workload (defaulting to the full
-// Figure 8 set).
+// Figure 8 set). The per-workload comparisons are independent machine
+// runs, so they are fanned out across the sweep worker pool; results come
+// back in names order regardless of which worker finished first.
 func CompareAll(o Options, names []string) []Result {
 	if len(names) == 0 {
 		names = AllWorkloads()
 	}
-	out := make([]Result, 0, len(names))
 	for _, n := range names {
-		out = append(out, Compare(o, n))
+		if !KnownWorkload(n) {
+			// Validate before fanning out: a panic inside a worker is
+			// re-raised by the pool, but failing fast in the caller keeps
+			// the error attached to the offending name before any
+			// simulation time is spent.
+			panic(fmt.Sprintf("exper: unknown workload %q", n))
+		}
 	}
-	return out
+	return runSweep(o, len(names), func(i int) Result {
+		return Compare(o, names[i])
+	})
 }
 
 // touchAndScan is a helper used by several ablations: it faults npages in

@@ -52,8 +52,8 @@ func Fig4(o Options, sizes []int) []Fig4Point {
 			}
 		}
 	}
-	var out []Fig4Point
-	for _, size := range sizes {
+	return runSweep(o, len(sizes), func(i int) Fig4Point {
+		size := sizes[i]
 		cfg := sim.ScaledConfig(memctrl.Baseline, kernel.ZeroNonTemporal, o.Scale)
 		cfg.Hier.Cores = 1
 		cfg.StoreData = false
@@ -61,15 +61,14 @@ func Fig4(o Options, sizes []int) []Fig4Point {
 		cfg.MemPages = size/addr.PageSize + 1024
 		m := sim.MustNew(cfg)
 		res := micro.MemsetTwice(m.Runtime(0), size)
-		out = append(out, Fig4Point{
+		return Fig4Point{
 			Size:        size,
 			FirstSec:    res.FirstCycles.Seconds(),
 			KernelSec:   res.KernelZeroCycles.Seconds(),
 			SecondSec:   res.SecondCycles.Seconds(),
 			KernelShare: res.KernelZeroShare(),
-		})
-	}
-	return out
+		}
+	})
 }
 
 // Fig4Table formats the Figure 4 reproduction.
@@ -130,8 +129,8 @@ func Fig5(o Options) []Fig5Row {
 		m.MC.Flush()
 		return m.Dev.Writes(), m.Kernel.NTZeroWrites()
 	}
-	var out []Fig5Row
-	for _, name := range Fig5Workloads {
+	return runSweep(o, len(Fig5Workloads), func(i int) Fig5Row {
+		name := Fig5Workloads[i]
 		unmod, _ := run(name, kernel.ZeroTemporal)
 		nt, ntZero := run(name, kernel.ZeroNonTemporal)
 		row := Fig5Row{Name: name, Unmodified: 1}
@@ -146,9 +145,8 @@ func Fig5(o Options) []Fig5Row {
 		if nt > 0 {
 			row.KernelZeroShare = float64(ntZero) / float64(nt)
 		}
-		out = append(out, row)
-	}
-	return out
+		return row
+	})
 }
 
 // Fig5Table formats the Figure 5 reproduction.
@@ -262,8 +260,8 @@ func Fig12(o Options, sizes []int) []Fig12Point {
 	if o.Quick {
 		pages /= 4
 	}
-	var out []Fig12Point
-	for _, size := range sizes {
+	return runSweep(o, len(sizes), func(i int) Fig12Point {
+		size := sizes[i]
 		cfg := sim.ScaledConfig(memctrl.SilentShredder, kernel.ZeroShred, o.Scale)
 		cfg.Hier.Cores = 1
 		cfg.StoreData = false
@@ -281,14 +279,13 @@ func Fig12(o Options, sizes []int) []Fig12Point {
 		zipf := rand.NewZipf(rng, 1.2, 8, uint64(pages-1))
 		m.MC.CounterCache().ResetStats()
 		accesses := pages * 4
-		for i := 0; i < accesses; i++ {
+		for j := 0; j < accesses; j++ {
 			pg := int(zipf.Uint64())
-			blk := (pg*7 + i) % addr.BlocksPerPage
+			blk := (pg*7 + j) % addr.BlocksPerPage
 			rt.Load(va + addr.Virt(pg*addr.PageSize+blk*addr.BlockSize))
 		}
-		out = append(out, Fig12Point{Size: size, MissRate: m.MC.CounterCache().MissRate()})
-	}
-	return out
+		return Fig12Point{Size: size, MissRate: m.MC.CounterCache().MissRate()}
+	})
 }
 
 const countercacheBlock = 64 // bytes per counter block
@@ -355,8 +352,8 @@ func Table2(o Options) []Table2Row {
 		{"Non-temporal stores", memctrl.Baseline, kernel.ZeroNonTemporal},
 		{"Silent Shredder", memctrl.SilentShredder, kernel.ZeroShred},
 	}
-	var out []Table2Row
-	for _, mech := range mechanisms {
+	return runSweep(o, len(mechanisms), func(mi int) Table2Row {
+		mech := mechanisms[mi]
 		cfg := sim.ScaledConfig(mech.mc, mech.zm, 64)
 		cfg.Hier.Cores = 1
 		cfg.MemPages = 1 << 14
@@ -411,16 +408,15 @@ func Table2(o Options) []Table2Row {
 		m3.Crash()
 		persistent := m3.Img.ReadU64(ppn.Addr()) == 0
 
-		out = append(out, Table2Row{
+		return Table2Row{
 			Mechanism:       mech.name,
 			CachePollution:  pollution,
 			ClearCycles:     uint64(clearCycles),
 			PostClearReadCy: postReadLat,
 			NVMWrites:       writes,
 			Persistent:      persistent,
-		})
-	}
-	return out
+		}
+	})
 }
 
 func mustPTE(m *sim.Machine, rt interface{ Process() *kernel.Process }, va addr.Virt) addr.PageNum {

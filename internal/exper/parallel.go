@@ -1,0 +1,126 @@
+// Parallel sweep engine: every figure, table and ablation in this package
+// is a sweep of *independent* sim.Machine runs (one run per workload, per
+// size point, per design option). The simulator itself is single-threaded
+// by design, but distinct machines share no mutable state, so the harness
+// fans runs out across a worker pool and merges the results in submission
+// order.
+//
+// Determinism contract: a job's result is a pure function of its index
+// (each machine is built fresh inside the job and seeded from the job's
+// parameters), results are merged into the output slice by index, and
+// tables/exports are rendered from that slice only. Parallel output is
+// therefore byte-identical to sequential output for any worker count.
+//
+// Race discipline (enforced by `go test -race ./...`, the tier-1 race
+// gate): a Machine is confined to the worker goroutine that built it and
+// must never escape its job; anything a job returns is plain data
+// communicated by value through the results channel (Result structs,
+// table rows, stats.Snapshot captures — never live *stats.Counter,
+// *stats.Set or maps that a machine still references).
+package exper
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workers resolves the sweep worker count: Options.Parallel when set,
+// otherwise GOMAXPROCS (use every core the runtime will schedule on).
+func (o Options) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// indexed pairs a job's submission index with its result (or the panic it
+// died with) so the collector can merge results in a stable order and
+// re-raise failures in the caller's goroutine.
+type indexed[T any] struct {
+	i        int
+	v        T
+	panicked any // non-nil: the job panicked with this value
+}
+
+// RunIndexed runs n independent jobs on a pool of `parallel` worker
+// goroutines and returns their results in index order. parallel <= 1 (or
+// n <= 1) degenerates to a plain sequential loop in the caller's
+// goroutine.
+//
+// Jobs must be self-contained: each builds (and confines) its own
+// sim.Machine and returns results by value. If a job panics, the panic is
+// captured, the remaining jobs finish, and the lowest-indexed panic is
+// re-raised in the caller's goroutine — the same observable behaviour as
+// the sequential loop, where the first failing job is the one that
+// crashes the sweep.
+func RunIndexed[T any](parallel, n int, job func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if parallel > n {
+		parallel = n
+	}
+	if parallel <= 1 || n == 1 {
+		out := make([]T, n)
+		for i := range out {
+			out[i] = job(i)
+		}
+		return out
+	}
+
+	run := func(i int) (res indexed[T]) {
+		res.i = i
+		defer func() {
+			if p := recover(); p != nil {
+				res.panicked = p
+			}
+		}()
+		res.v = job(i)
+		return res
+	}
+
+	jobs := make(chan int)
+	results := make(chan indexed[T])
+	var wg sync.WaitGroup
+	wg.Add(parallel)
+	for w := 0; w < parallel; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results <- run(i)
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	out := make([]T, n)
+	firstPanic := n
+	var panicked any
+	for r := range results {
+		if r.panicked != nil {
+			if r.i < firstPanic {
+				firstPanic, panicked = r.i, r.panicked
+			}
+			continue
+		}
+		out[r.i] = r.v
+	}
+	if panicked != nil {
+		panic(panicked)
+	}
+	return out
+}
+
+// runSweep is RunIndexed on the Options-selected worker pool — the entry
+// point every figure/table/ablation sweep in this package funnels
+// through.
+func runSweep[T any](o Options, n int, job func(i int) T) []T {
+	return RunIndexed(o.workers(), n, job)
+}

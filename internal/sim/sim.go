@@ -203,6 +203,12 @@ func (m *Machine) ResetStats() {
 	m.Kernel.ResetStats()
 }
 
+// Snapshot captures every component's statistics as plain values that are
+// safe to send across goroutine boundaries (see stats.Snapshot). The
+// parallel sweep harness uses this: the Machine stays confined to its
+// worker goroutine and only the snapshot travels.
+func (m *Machine) Snapshot() stats.Snapshot { return m.Registry().Snapshot() }
+
 // Registry collects every component's statistics.
 func (m *Machine) Registry() *stats.Registry {
 	r := &stats.Registry{}

@@ -90,6 +90,12 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Reset clears all samples, buckets and the running max, returning the
+// histogram to its zero state. Components embed histograms by value, so a
+// method (rather than the struct-replace idiom) lets ResetStats clear them
+// without copying, and keeps any future non-resettable fields safe.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
 // Count returns the number of samples observed.
 func (h *Histogram) Count() uint64 { return h.total }
 
@@ -233,6 +239,82 @@ func (r *Registry) Dump() string {
 		for _, n := range s.Names() {
 			v, _ := s.Get(n)
 			fmt.Fprintf(&b, "%s.%s = %.6g\n", s.name, n, v)
+		}
+	}
+	return b.String()
+}
+
+// SnapshotStat is one captured statistic value.
+type SnapshotStat struct {
+	Name  string
+	Value float64
+}
+
+// SnapshotSet is one component's captured statistics, in registration
+// order.
+type SnapshotSet struct {
+	Name  string
+	Stats []SnapshotStat
+}
+
+// Snapshot is an immutable, by-value capture of a Registry's statistics at
+// one instant. Live Sets read their component's counters through
+// closures, so a Registry is only safe to consult from the goroutine that
+// owns its machine; a Snapshot carries plain values and can be sent across
+// channels, merged, and rendered by any goroutine. The parallel sweep
+// engine communicates per-run results this way: one machine per worker
+// goroutine, snapshots by value to the collector.
+type Snapshot struct {
+	Sets []SnapshotSet
+}
+
+// Snapshot captures every registered set's current values.
+func (r *Registry) Snapshot() Snapshot {
+	out := Snapshot{Sets: make([]SnapshotSet, 0, len(r.sets))}
+	for _, s := range r.sets {
+		ss := SnapshotSet{Name: s.name, Stats: make([]SnapshotStat, 0, len(s.order))}
+		for _, n := range s.order {
+			v, _ := s.Get(n)
+			ss.Stats = append(ss.Stats, SnapshotStat{Name: n, Value: v})
+		}
+		out.Sets = append(out.Sets, ss)
+	}
+	return out
+}
+
+// Lookup returns the captured value of "component.stat", mirroring
+// Registry.Lookup.
+func (s Snapshot) Lookup(path string) (float64, bool) {
+	dot := strings.LastIndex(path, ".")
+	if dot < 0 {
+		return 0, false
+	}
+	comp, stat := path[:dot], path[dot+1:]
+	for _, set := range s.Sets {
+		if set.Name != comp {
+			continue
+		}
+		for _, st := range set.Stats {
+			if st.Name == stat {
+				return st.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Dump renders the snapshot in exactly Registry.Dump's format (one stat
+// per line, sets sorted by component name), so a run's output is
+// byte-identical whether it was printed live or captured, shipped across
+// a channel, and printed by the collector.
+func (s Snapshot) Dump() string {
+	sets := make([]SnapshotSet, len(s.Sets))
+	copy(sets, s.Sets)
+	sort.SliceStable(sets, func(i, j int) bool { return sets[i].Name < sets[j].Name })
+	var b strings.Builder
+	for _, set := range sets {
+		for _, st := range set.Stats {
+			fmt.Fprintf(&b, "%s.%s = %.6g\n", set.Name, st.Name, st.Value)
 		}
 	}
 	return b.String()

@@ -163,3 +163,77 @@ func TestMeans(t *testing.T) {
 		t.Fatalf("ArithMean(nil) = %v", got)
 	}
 }
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1, 7, 300, 1e9} {
+		h.Observe(v)
+	}
+	if h.Count() == 0 || h.Max() == 0 {
+		t.Fatal("histogram not populated")
+	}
+	h.Reset()
+	if h.Count() != 0 || h.sum != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("Reset left state: count=%d max=%v", h.Count(), h.Max())
+	}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("Quantile after Reset = %v", got)
+	}
+	// The histogram must be reusable after Reset.
+	h.Observe(8)
+	if h.Count() != 1 || h.Mean() != 8 || h.Max() != 8 {
+		t.Fatal("histogram unusable after Reset")
+	}
+}
+
+func newTestRegistry() *Registry {
+	r := &Registry{}
+	var c Counter
+	c.Add(3)
+	sb := NewSet("beta")
+	sb.RegisterCounter("writes", &c)
+	sa := NewSet("alpha")
+	sa.RegisterFunc("ratio", func() float64 { return 0.25 })
+	sa.RegisterFunc("count", func() float64 { return 12 })
+	// Registered out of name order on purpose: Dump sorts by set name.
+	r.Register(sb)
+	r.Register(sa)
+	return r
+}
+
+func TestSnapshotMatchesRegistry(t *testing.T) {
+	r := newTestRegistry()
+	snap := r.Snapshot()
+	if got, want := snap.Dump(), r.Dump(); got != want {
+		t.Fatalf("Snapshot.Dump differs from Registry.Dump:\n%q\n%q", got, want)
+	}
+	for _, path := range []string{"beta.writes", "alpha.ratio", "alpha.count"} {
+		want, _ := r.Lookup(path)
+		got, ok := snap.Lookup(path)
+		if !ok || got != want {
+			t.Fatalf("Snapshot.Lookup(%q) = %v %v, want %v", path, got, ok, want)
+		}
+	}
+	if _, ok := snap.Lookup("alpha.missing"); ok {
+		t.Fatal("Lookup of missing stat must fail")
+	}
+	if _, ok := snap.Lookup("nodot"); ok {
+		t.Fatal("Lookup without a dot must fail")
+	}
+}
+
+func TestSnapshotIsImmutableCapture(t *testing.T) {
+	r := &Registry{}
+	var c Counter
+	s := NewSet("live")
+	s.RegisterCounter("n", &c)
+	r.Register(s)
+	snap := r.Snapshot()
+	c.Add(100) // mutate after the capture
+	if v, _ := snap.Lookup("live.n"); v != 0 {
+		t.Fatalf("snapshot value moved with the live counter: %v", v)
+	}
+	if v, _ := r.Lookup("live.n"); v != 100 {
+		t.Fatalf("registry must stay live: %v", v)
+	}
+}
