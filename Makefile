@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench quick-experiments experiments examples clean
+.PHONY: all build test vet race fuzz cover bench quick-experiments experiments examples clean
 
 all: build vet test race
 
@@ -19,9 +19,26 @@ test:
 # Tier-1 race gate: the parallel sweep engine fans independent machines
 # out across goroutines; every run must stay confined to its worker.
 # This exercises the worker pool (determinism tests run with -parallel 4)
-# under the race detector and must pass before merging.
+# under the race detector and must pass before merging. It also runs the
+# oracle-checked short workload sweeps (exper.TestCheckedWorkloadSweeps
+# and the sim/oracle differential tests), so every merge re-validates the
+# architectural contract under -race.
 race:
 	$(GO) test -race ./...
+
+# Bounded fuzzing pass over both fuzz targets (seed corpora are committed
+# under testdata/fuzz). FUZZTIME bounds each target's run.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzTraceCodec -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/oracle -run='^$$' -fuzz=FuzzOracleDifferential -fuzztime=$(FUZZTIME)
+
+# Coverage over all packages; prints the per-function summary tail and
+# leaves cover.out for `go tool cover -html=cover.out`. The recorded
+# baseline is in COVERAGE.md — keep total coverage at or above it.
+cover:
+	$(GO) test ./... -coverprofile=cover.out
+	$(GO) tool cover -func=cover.out | tail -n 1
 
 # Full test run recorded to test_output.txt (what EXPERIMENTS.md cites).
 test-record:
@@ -49,4 +66,4 @@ examples:
 	$(GO) run ./examples/persistent
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt cover.out

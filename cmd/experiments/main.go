@@ -29,6 +29,8 @@ func main() {
 	flag.BoolVar(&o.Quick, "quick", false, "shrink workloads for a fast smoke run")
 	flag.IntVar(&o.Parallel, "parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines for independent simulation runs (1 = sequential; output is byte-identical either way)")
+	flag.BoolVar(&o.Check, "check", false,
+		"run every machine under the architectural oracle and invariant sweeps (slow; violations abort the run)")
 	var workloads string
 	flag.StringVar(&workloads, "workloads", "", "comma-separated subset for fig8-fig11 (default: all 29)")
 	var format string

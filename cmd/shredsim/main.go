@@ -45,6 +45,7 @@ func main() {
 		ccSize    = flag.Int("counter-cache", 0, "counter cache bytes (0 = Table 1 / scale)")
 		wt        = flag.Bool("write-through", false, "write-through counter cache (no battery needed)")
 		saveNVM   = flag.String("save-nvm", "", "after the run, write a memory-state checkpoint (DIMM image) to this file (single workload only)")
+		check     = flag.Bool("check", false, "cross-check every load against the architectural oracle and sweep machine-wide invariants (slow; violations abort)")
 	)
 	flag.Parse()
 
@@ -94,7 +95,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	o := exper.Options{Cores: *cores, Scale: *scale, Quick: *quick, Parallel: *parallel}
+	o := exper.Options{Cores: *cores, Scale: *scale, Quick: *quick, Parallel: *parallel, Check: *check}
 	tweak := exper.MachineTweaks{
 		DEUCE:            *deuce,
 		Integrity:        *integrity,
@@ -112,6 +113,9 @@ func main() {
 		}
 		fmt.Print(report(names[0], mcMode, zm, *cores, *scale,
 			m.AggregateIPC(), m.TotalInstructions(), m.MaxCycles(), m.Snapshot()))
+		if cr := m.CheckReport(); cr != "" {
+			fmt.Printf("\n%s\n", cr)
+		}
 		if *saveNVM != "" {
 			f, err := os.Create(*saveNVM)
 			if err != nil {
@@ -145,8 +149,12 @@ func main() {
 		if err != nil {
 			return runOut{err: err}
 		}
-		return runOut{text: report(names[i], mcMode, zm, *cores, *scale,
-			m.AggregateIPC(), m.TotalInstructions(), m.MaxCycles(), m.Snapshot())}
+		text := report(names[i], mcMode, zm, *cores, *scale,
+			m.AggregateIPC(), m.TotalInstructions(), m.MaxCycles(), m.Snapshot())
+		if cr := m.CheckReport(); cr != "" {
+			text += "\n" + cr + "\n"
+		}
+		return runOut{text: text}
 	})
 	failed := false
 	for i, r := range outs {

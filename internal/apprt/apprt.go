@@ -33,6 +33,27 @@ type Runtime struct {
 	// trace, when set, observes every operation the program performs
 	// (see internal/trace for the record format and replayer).
 	trace func(op TraceOp)
+
+	// check, when set, receives every operation *and* every load result
+	// for architectural cross-checking (see internal/oracle). It is
+	// deliberately a separate hook from trace: the experiment harness
+	// repurposes the trace hook for cooperative scheduling, and checking
+	// must survive that.
+	check Checker
+}
+
+// Checker observes a runtime's operations and validates its load results
+// against an architectural reference model. Implementations should fail
+// loudly (panic or test failure) on a contract violation; the runtime
+// does not interpret return values.
+type Checker interface {
+	// Observe is called for every traced operation, before it executes.
+	Observe(op TraceOp)
+	// ObserveStoreBytes reports a bulk store chunk (StoreBytes has no
+	// single trace record).
+	ObserveStoreBytes(va addr.Virt, data []byte)
+	// CheckLoad receives the bytes a load returned, after it executed.
+	CheckLoad(va addr.Virt, got []byte)
 }
 
 // TraceKind identifies a traced operation.
@@ -61,9 +82,15 @@ type TraceOp struct {
 // SetTraceHook installs fn as the operation observer (nil disables).
 func (rt *Runtime) SetTraceHook(fn func(op TraceOp)) { rt.trace = fn }
 
+// SetChecker installs c as the architectural checker (nil disables).
+func (rt *Runtime) SetChecker(c Checker) { rt.check = c }
+
 func (rt *Runtime) emit(kind TraceKind, va addr.Virt, arg uint64) {
 	if rt.trace != nil {
 		rt.trace(TraceOp{Kind: kind, VA: va, Arg: arg})
+	}
+	if rt.check != nil {
+		rt.check.Observe(TraceOp{Kind: kind, VA: va, Arg: arg})
 	}
 }
 
@@ -115,6 +142,9 @@ func (rt *Runtime) Load(va addr.Virt) uint64 {
 	rt.cpu.Load(lat)
 	var b [8]byte
 	rt.k.Controller().Image().Read(pa, b[:])
+	if rt.check != nil {
+		rt.check.CheckLoad(va, b[:])
+	}
 	return binary.LittleEndian.Uint64(b[:])
 }
 
@@ -141,6 +171,9 @@ func (rt *Runtime) LoadBytes(va addr.Virt, n int) []byte {
 		rt.cpu.Load(lat)
 		buf := make([]byte, cnt)
 		rt.k.Controller().Image().Read(pa, buf)
+		if rt.check != nil {
+			rt.check.CheckLoad(blk+addr.Virt(off), buf)
+		}
 		out = append(out, buf...)
 	})
 	return out
@@ -152,6 +185,9 @@ func (rt *Runtime) StoreBytes(va addr.Virt, data []byte) {
 		pa, klat := rt.k.Translate(rt.core, rt.proc, blk+addr.Virt(off), true)
 		rt.k.Hierarchy().Write(rt.core, pa)
 		rt.k.Controller().Image().Write(pa, data[:cnt])
+		if rt.check != nil {
+			rt.check.ObserveStoreBytes(blk+addr.Virt(off), data[:cnt])
+		}
 		data = data[cnt:]
 		if klat > 0 {
 			rt.cpu.Stall(klat)

@@ -205,6 +205,18 @@ func (c *Cache) FlushAll() []Line {
 	return dirty
 }
 
+// ForEachLine calls fn for every valid line, in set order. Invariant
+// sweeps use it; it touches neither statistics nor LRU state.
+func (c *Cache) ForEachLine(fn func(l *Line)) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].State != Invalid {
+				fn(&set[i])
+			}
+		}
+	}
+}
+
 // Hits returns the hit count.
 func (c *Cache) Hits() uint64 { return c.hits.Value() }
 

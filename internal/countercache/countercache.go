@@ -17,6 +17,9 @@
 package countercache
 
 import (
+	"fmt"
+	"sort"
+
 	"silentshredder/internal/addr"
 	"silentshredder/internal/cache"
 	"silentshredder/internal/clock"
@@ -183,8 +186,16 @@ func (c *Cache) Invalidate(p addr.PageNum) {
 
 // Flush writes back every dirty counter block, leaving contents resident
 // but clean. A clean shutdown (or the battery on power loss) does this.
+// Writebacks are issued in ascending page order so the NVM device's
+// order-dependent bank timing sees the same access sequence on every run
+// — checkpoint/replay equivalence depends on it.
 func (c *Cache) Flush() {
+	pages := make([]addr.PageNum, 0, len(c.cached))
 	for p := range c.cached {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, p := range pages {
 		if l := c.tags.Probe(ctrAddr(p)); l != nil && l.Dirty {
 			c.writebackPage(p)
 			l.Dirty = false
@@ -254,6 +265,77 @@ func (c *Cache) ForEachPersisted(fn func(p addr.PageNum, cb ctr.CounterBlock)) {
 	for p, cb := range c.region {
 		fn(p, cb)
 	}
+}
+
+// ForEachCurrent calls fn for every page with counter state, passing the
+// architecturally current value (cached copy when resident, NVM-resident
+// value otherwise) in ascending page order. Invariant sweeps use it.
+func (c *Cache) ForEachCurrent(fn func(p addr.PageNum, cb ctr.CounterBlock)) {
+	seen := make(map[addr.PageNum]bool, len(c.region)+len(c.cached))
+	pages := make([]addr.PageNum, 0, len(c.region)+len(c.cached))
+	for p := range c.region {
+		if !seen[p] {
+			seen[p] = true
+			pages = append(pages, p)
+		}
+	}
+	for p := range c.cached {
+		if !seen[p] {
+			seen[p] = true
+			pages = append(pages, p)
+		}
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, p := range pages {
+		fn(p, c.Peek(p))
+	}
+}
+
+// CheckCoherence validates the cache's internal consistency:
+//
+//  1. tag/content pairing — every resident tag has a cached counter block
+//     and vice versa;
+//  2. clean-line coherence — a resident line that is not dirty must hold
+//     exactly the NVM-resident value (it was fetched or written back and
+//     not mutated since);
+//  3. write-through coherence — in write-through mode no line is ever
+//     dirty and every cached value matches NVM.
+//
+// A violation means counter updates were lost or applied outside the
+// MarkDirty protocol — exactly the class of bug that silently breaks pad
+// uniqueness.
+func (c *Cache) CheckCoherence() error {
+	tagged := make(map[addr.PageNum]bool)
+	var err error
+	c.tags.ForEachLine(func(l *cache.Line) {
+		if err != nil {
+			return
+		}
+		p := pageOfCtrAddr(l.Addr())
+		tagged[p] = true
+		cb, ok := c.cached[p]
+		if !ok || cb == nil {
+			err = fmt.Errorf("countercache: %v tagged resident but has no cached counter block", p)
+			return
+		}
+		if c.cfg.WriteThrough && l.Dirty {
+			err = fmt.Errorf("countercache: %v dirty in write-through mode", p)
+			return
+		}
+		if !l.Dirty && *cb != c.region[p] {
+			err = fmt.Errorf("countercache: %v clean cached counters diverge from NVM (cached major=%d, NVM major=%d)",
+				p, cb.Major, c.region[p].Major)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for p := range c.cached {
+		if !tagged[p] {
+			return fmt.Errorf("countercache: %v has cached contents but no resident tag", p)
+		}
+	}
+	return nil
 }
 
 // MissRate returns the tag-store miss rate.

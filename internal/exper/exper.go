@@ -35,6 +35,10 @@ type Options struct {
 	// GOMAXPROCS; 1 forces a sequential sweep. Results are merged in
 	// submission order, so output is byte-identical for any value.
 	Parallel int
+	// Check attaches the architectural oracle and periodic invariant
+	// sweeps to every machine (sim.Config.CheckOracle). Violations panic;
+	// expect a large slowdown. Implies the functional data path.
+	Check bool
 }
 
 // DefaultOptions returns the standard experiment scale: the paper's 8
@@ -80,6 +84,7 @@ func machineFor(o Options, name string, mode memctrl.Mode, zm kernel.ZeroMode) *
 	cfg.Hier.Cores = o.Cores
 	cfg.StoreData = isGraph(name)
 	cfg.MemPages = 1 << 20 // 4GB pool: experiments never OOM
+	cfg.CheckOracle = o.Check
 	return sim.MustNew(cfg)
 }
 
@@ -269,6 +274,7 @@ func RunWorkloadTweaked(o Options, name string, mode memctrl.Mode, zm kernel.Zer
 	cfg.MemCtrl.DEUCE = t.DEUCE
 	cfg.MemCtrl.Integrity = t.Integrity
 	cfg.MemCtrl.CounterCache.WriteThrough = t.WriteThrough
+	cfg.CheckOracle = o.Check
 	if t.CounterCacheSize > 0 {
 		cfg.MemCtrl.CounterCache.Size = t.CounterCacheSize
 	}

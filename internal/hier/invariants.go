@@ -2,6 +2,7 @@ package hier
 
 import (
 	"fmt"
+	"sort"
 
 	"silentshredder/internal/addr"
 	"silentshredder/internal/cache"
@@ -62,6 +63,71 @@ func (h *Hierarchy) CheckInvariants(blocks []addr.Phys) error {
 			}
 		} else if holders != 0 {
 			return fmt.Errorf("hier: %v held by mask %b but absent from directory", a, holders)
+		}
+	}
+	return nil
+}
+
+// ResidentBlocks returns every block address currently valid in any cache
+// level or tracked by the directory, sorted and deduplicated. It is the
+// universe a machine-wide invariant sweep must cover: a block resident
+// nowhere trivially satisfies every structural invariant.
+func (h *Hierarchy) ResidentBlocks() []addr.Phys {
+	seen := make(map[addr.Phys]bool)
+	collect := func(c *cache.Cache) {
+		c.ForEachLine(func(l *cache.Line) { seen[l.Addr()] = true })
+	}
+	for c := 0; c < h.cfg.Cores; c++ {
+		collect(h.l1[c])
+		collect(h.l2[c])
+	}
+	collect(h.l3)
+	collect(h.l4)
+	for a := range h.dir {
+		seen[a] = true
+	}
+	out := make([]addr.Phys, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ResidentAny reports whether the block containing a is valid in any
+// cache level. The counter-state sweep uses it: a block that is resident
+// may legitimately hold architectural data newer than its NVM ciphertext.
+func (h *Hierarchy) ResidentAny(a addr.Phys) bool {
+	a = a.Block()
+	for c := 0; c < h.cfg.Cores; c++ {
+		if h.l1[c].Probe(a) != nil || h.l2[c].Probe(a) != nil {
+			return true
+		}
+	}
+	return h.l3.Probe(a) != nil || h.l4.Probe(a) != nil
+}
+
+// CheckAll runs CheckInvariants over every resident block plus the
+// directory-level structural rules that are not per-block: a directory
+// entry claiming a modified owner must name a live core, and every
+// directory entry must track at least one sharer (empty entries are
+// deleted eagerly; a lingering one indicates a bookkeeping leak).
+func (h *Hierarchy) CheckAll() error {
+	blocks := h.ResidentBlocks()
+	if err := h.CheckInvariants(blocks); err != nil {
+		return err
+	}
+	for a, de := range h.dir {
+		if de.modified {
+			if de.owner < 0 || de.owner >= h.cfg.Cores {
+				return fmt.Errorf("hier: %v directory modified with invalid owner %d", a, de.owner)
+			}
+			if de.sharers&(1<<de.owner) == 0 {
+				return fmt.Errorf("hier: %v directory owner %d not in sharer mask %b", a, de.owner, de.sharers)
+			}
+		}
+		if de.sharers == 0 {
+			return fmt.Errorf("hier: %v directory entry with no sharers (bookkeeping leak)", a)
 		}
 	}
 	return nil

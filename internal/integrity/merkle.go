@@ -140,6 +140,26 @@ func (t *Tree) Verify(p addr.PageNum, block [ctr.CounterBlockSize]byte) (bool, c
 	return Hash(h) == t.root, t.verifyCost()
 }
 
+// ConsistentWith reports whether block hashes to the current root as page
+// p's counter block — the same computation as Verify, but without
+// touching statistics or modeling latency. Invariant sweeps use it so
+// that enabling the sweep cannot perturb the measured verification
+// counts.
+func (t *Tree) ConsistentWith(p addr.PageNum, block [ctr.CounterBlockSize]byte) bool {
+	idx := uint64(p)
+	h := sha256.Sum256(block[:])
+	for l := 0; l < t.cfg.Depth; l++ {
+		sib := t.node(l, idx^1)
+		if idx&1 == 0 {
+			h = hashPair(Hash(h), sib)
+		} else {
+			h = hashPair(sib, Hash(h))
+		}
+		idx >>= 1
+	}
+	return Hash(h) == t.root
+}
+
 func (t *Tree) verifyCost() clock.Cycles {
 	path := t.cfg.Depth - t.cfg.CachedLevels + 1
 	if path < 1 {

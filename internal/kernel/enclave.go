@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 
 	"silentshredder/internal/addr"
 	"silentshredder/internal/clock"
@@ -57,7 +58,15 @@ func (k *Kernel) CreateEnclave(core int, p *Process, va addr.Virt, npages int) (
 // the shredding latency (charged to the tearing-down core by the caller).
 func (k *Kernel) DestroyEnclave(e *Enclave) clock.Cycles {
 	var lat clock.Cycles
+	// Shred in ascending frame order: NVM bank timing depends on access
+	// order, and map iteration would make teardown latency (and the
+	// resulting statistics) nondeterministic across runs.
+	ppns := make([]addr.PageNum, 0, len(e.pages))
 	for ppn := range e.pages {
+		ppns = append(ppns, ppn)
+	}
+	sort.Slice(ppns, func(i, j int) bool { return ppns[i] < ppns[j] })
+	for _, ppn := range ppns {
 		k.h.ShredInvalidate(ppn)
 		if k.mc.Mode() == memctrl.SilentShredder {
 			lat += k.mc.Shred(ppn) + k.cfg.ShredOverhead

@@ -19,6 +19,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 
 	"silentshredder/internal/addr"
 	"silentshredder/internal/clock"
@@ -223,9 +224,19 @@ func (k *Kernel) NewProcess() *Process {
 
 // ExitProcess tears a process down: its physical pages return to the free
 // pool *without* being cleared — clearing happens when they are
-// reallocated, which is exactly when the shredding strategy runs.
+// reallocated, which is exactly when the shredding strategy runs. Pages
+// are freed in ascending physical order: the pages map would otherwise be
+// walked in Go's randomized map order, making the LIFO free list — and
+// therefore every subsequent allocation, cache index and NVM bank access
+// — differ from run to run, which the deterministic-replay and
+// differential harnesses cannot tolerate.
 func (k *Kernel) ExitProcess(p *Process) {
+	ppns := make([]addr.PageNum, 0, len(p.pages))
 	for _, ppn := range p.pages {
+		ppns = append(ppns, ppn)
+	}
+	sort.Slice(ppns, func(i, j int) bool { return ppns[i] < ppns[j] })
+	for _, ppn := range ppns {
 		k.src.FreePage(ppn)
 	}
 	p.pages = nil

@@ -1,0 +1,46 @@
+package oracle_test
+
+import (
+	"bytes"
+	"testing"
+
+	"silentshredder/internal/oracle"
+)
+
+// FuzzOracleDifferential fuzzes the workload generator's seed and length,
+// runs the generated stream on a baseline machine and a Silent Shredder
+// machine — both under the per-load oracle cross-check and periodic
+// invariant sweeps — and requires byte-identical architectural state.
+// Any contract violation panics inside the run; any inter-machine
+// divergence fails here.
+func FuzzOracleDifferential(f *testing.F) {
+	f.Add(int64(1), uint16(128))
+	f.Add(int64(42), uint16(400))
+	f.Add(int64(-7), uint16(64))
+
+	f.Fuzz(func(t *testing.T, seed int64, nops uint16) {
+		n := int(nops)%768 + 32 // bounded so one input stays fast
+		cfg := oracle.GenConfig{Seed: seed, Ops: n, MaxAllocPages: 4, MaxLivePages: 128}
+		w := oracle.Generate(cfg)
+
+		var ref [][]byte
+		for _, p := range []personality{personalities()[0], personalities()[2]} {
+			m, rt := replayChecked(t, p, w)
+			got := regionContents(rt, w)
+			if ref == nil {
+				ref = got
+			} else {
+				for i := range got {
+					if !bytes.Equal(got[i], ref[i]) {
+						t.Fatalf("seed %d ops %d: region %d diverges between personalities", seed, n, i)
+					}
+				}
+			}
+			m.Hier.FlushAll()
+			m.MC.Flush()
+			if err := m.RunInvariantSweep(); err != nil {
+				t.Fatalf("seed %d ops %d: %s: %v", seed, n, p.name, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package oracle
+
+import (
+	"math/rand"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/apprt"
+)
+
+// GenConfig controls the seeded random-workload generator.
+type GenConfig struct {
+	Seed int64
+	Ops  int // operations to generate (allocation ops included)
+
+	// MaxAllocPages bounds a single allocation's size.
+	MaxAllocPages int
+	// MaxLivePages bounds the total physically backed footprint; the
+	// generator frees or skips allocations to stay under it, so machines
+	// sized with headroom above it can never hit the OOM path.
+	MaxLivePages int
+}
+
+// DefaultGenConfig returns a small, fast configuration.
+func DefaultGenConfig(seed int64) GenConfig {
+	return GenConfig{Seed: seed, Ops: 2000, MaxAllocPages: 8, MaxLivePages: 256}
+}
+
+// Region describes one allocation the generated workload made.
+type Region struct {
+	VA     addr.Virt
+	Npages int
+	Live   bool // still allocated at the end of the op stream
+}
+
+// Workload is a generated operation stream plus its allocation map.
+type Workload struct {
+	Ops     []apprt.TraceOp
+	Regions []Region
+}
+
+// mmapBase mirrors kernel.NewProcess's initial mmap cursor. The generator
+// reproduces the kernel's trivial bump allocator exactly so that
+// trace.Replay's Malloc base assertion holds on any machine.
+const mmapBase = addr.Virt(0x1000_0000)
+
+// Generate produces a deterministic pseudo-random op stream exercising
+// the architectural contract: allocations, 8-byte stores and loads,
+// memsets (temporal and non-temporal), frees, shred-range syscalls, and
+// loads of untouched and released memory (which must read as zeros).
+// The same stream can be replayed (via internal/trace.Replay) against any
+// machine configuration and cross-checked against an Oracle.
+func Generate(cfg GenConfig) Workload {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 2000
+	}
+	if cfg.MaxAllocPages <= 0 {
+		cfg.MaxAllocPages = 8
+	}
+	if cfg.MaxLivePages <= 0 {
+		cfg.MaxLivePages = 256
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var (
+		w      Workload
+		cursor = mmapBase
+		live   []int // indices into w.Regions with Live == true
+		pages  int   // currently live physical footprint bound
+	)
+
+	alloc := func() {
+		npages := 1 + rng.Intn(cfg.MaxAllocPages)
+		if pages+npages > cfg.MaxLivePages {
+			return // stay under the footprint budget
+		}
+		size := npages * addr.PageSize
+		if rng.Intn(4) == 0 && size > 8 {
+			size -= rng.Intn(addr.PageSize) // unaligned sizes round up like mmap
+			if size <= (npages-1)*addr.PageSize {
+				size = (npages-1)*addr.PageSize + 1
+			}
+		}
+		w.Ops = append(w.Ops, apprt.TraceOp{Kind: apprt.TraceMalloc, VA: cursor, Arg: uint64(size)})
+		w.Regions = append(w.Regions, Region{VA: cursor, Npages: npages, Live: true})
+		live = append(live, len(w.Regions)-1)
+		cursor += addr.Virt(npages) * addr.PageSize
+		pages += npages
+	}
+
+	pick := func() (int, bool) {
+		if len(live) == 0 {
+			return 0, false
+		}
+		return live[rng.Intn(len(live))], true
+	}
+
+	// A couple of regions up front so early ops have targets.
+	alloc()
+	alloc()
+
+	for len(w.Ops) < cfg.Ops {
+		switch r := rng.Intn(100); {
+		case r < 8: // allocate
+			alloc()
+		case r < 12: // free a live region
+			ri, ok := pick()
+			if !ok {
+				continue
+			}
+			reg := &w.Regions[ri]
+			size := reg.Npages * addr.PageSize
+			w.Ops = append(w.Ops, apprt.TraceOp{Kind: apprt.TraceFree, VA: reg.VA, Arg: uint64(size)})
+			reg.Live = false
+			pages -= reg.Npages
+			for i, li := range live {
+				if li == ri {
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+		case r < 16: // shred-range syscall over a live region prefix
+			ri, ok := pick()
+			if !ok {
+				continue
+			}
+			reg := w.Regions[ri]
+			n := 1 + rng.Intn(reg.Npages)
+			w.Ops = append(w.Ops, apprt.TraceOp{Kind: apprt.TraceShredRange, VA: reg.VA, Arg: uint64(n)})
+		case r < 24: // memset part of a live region
+			ri, ok := pick()
+			if !ok {
+				continue
+			}
+			reg := w.Regions[ri]
+			maxN := reg.Npages * addr.PageSize
+			off := rng.Intn(maxN) &^ 7
+			n := 1 + rng.Intn(maxN-off)
+			nt := uint64(0)
+			if rng.Intn(2) == 0 {
+				nt = 1
+			}
+			val := uint64(rng.Intn(256))
+			w.Ops = append(w.Ops, apprt.TraceOp{
+				Kind: apprt.TraceMemset,
+				VA:   reg.VA + addr.Virt(off),
+				Arg:  uint64(n)<<9 | nt<<8 | val,
+			})
+		case r < 60: // 8-byte store into a live region (8-aligned: no page crossing)
+			ri, ok := pick()
+			if !ok {
+				continue
+			}
+			reg := w.Regions[ri]
+			off := rng.Intn(reg.Npages*addr.PageSize-8) &^ 7
+			w.Ops = append(w.Ops, apprt.TraceOp{
+				Kind: apprt.TraceStore,
+				VA:   reg.VA + addr.Virt(off),
+				Arg:  rng.Uint64(),
+			})
+		case r < 95: // 8-byte load: live, freed, or untouched memory
+			var base addr.Virt
+			var span int
+			if freed := freedRegions(w.Regions); len(freed) > 0 && rng.Intn(4) == 0 {
+				reg := freed[rng.Intn(len(freed))]
+				base, span = reg.VA, reg.Npages*addr.PageSize
+			} else if ri, ok := pick(); ok {
+				reg := w.Regions[ri]
+				base, span = reg.VA, reg.Npages*addr.PageSize
+			} else {
+				continue
+			}
+			off := rng.Intn(span-8) &^ 7
+			w.Ops = append(w.Ops, apprt.TraceOp{Kind: apprt.TraceLoad, VA: base + addr.Virt(off)})
+		default: // compute batch (keeps the op mix honest for timing paths)
+			w.Ops = append(w.Ops, apprt.TraceOp{Kind: apprt.TraceCompute, Arg: uint64(1 + rng.Intn(64))})
+		}
+	}
+	return w
+}
+
+func freedRegions(regs []Region) []Region {
+	var out []Region
+	for _, r := range regs {
+		if !r.Live {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/kernel"
+	"silentshredder/internal/memctrl"
+)
+
+func checkedTestConfig(mode memctrl.Mode, zm kernel.ZeroMode) Config {
+	cfg := testConfig(mode, zm)
+	cfg.CheckOracle = true
+	cfg.CheckEvery = 256
+	return cfg
+}
+
+func TestCheckConfigValidation(t *testing.T) {
+	cfg := checkedTestConfig(memctrl.SilentShredder, kernel.ZeroNone)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("CheckOracle with ZeroNone must be rejected")
+	}
+	for _, opt := range []memctrl.ShredOption{memctrl.OptionIncMinors, memctrl.OptionIncMajor} {
+		cfg := checkedTestConfig(memctrl.SilentShredder, kernel.ZeroShred)
+		cfg.MemCtrl.Shred = opt
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("CheckOracle with shred option %v must be rejected", opt)
+		}
+	}
+	// CheckOracle implies the functional data path.
+	cfg = checkedTestConfig(memctrl.SilentShredder, kernel.ZeroShred)
+	cfg.StoreData = false
+	m := MustNew(cfg)
+	if !m.Img.Enabled() {
+		t.Fatal("CheckOracle must force StoreData")
+	}
+}
+
+func TestCheckedRuntimeVerifiesLoads(t *testing.T) {
+	m := MustNew(checkedTestConfig(memctrl.SilentShredder, kernel.ZeroShred))
+	rt := m.Runtime(0)
+	va := rt.Malloc(8 * addr.PageSize)
+	for i := 0; i < 8*addr.PageSize/8; i++ {
+		rt.Store(va+addr.Virt(i*8), uint64(i))
+	}
+	for i := 0; i < 8*addr.PageSize/8; i++ {
+		if got := rt.Load(va + addr.Virt(i*8)); got != uint64(i) {
+			t.Fatalf("load %d = %d", i, got)
+		}
+	}
+	c := m.Checker()
+	if c == nil {
+		t.Fatal("no checker attached")
+	}
+	if c.LoadsChecked() == 0 || c.Ops() == 0 {
+		t.Fatalf("checker idle: loads=%d ops=%d", c.LoadsChecked(), c.Ops())
+	}
+	if c.Sweeps() == 0 {
+		t.Fatalf("no sweeps after %d ops with CheckEvery=%d", c.Ops(), m.Cfg.CheckEvery)
+	}
+	if !strings.Contains(m.CheckReport(), "no violations") {
+		t.Fatalf("report = %q", m.CheckReport())
+	}
+}
+
+// TestSweepDetectsImageCorruption proves the net actually catches
+// divergence: a byte flipped in architectural memory behind the oracle's
+// back must fail the oracle/image agreement pass.
+func TestSweepDetectsImageCorruption(t *testing.T) {
+	m := MustNew(checkedTestConfig(memctrl.SilentShredder, kernel.ZeroShred))
+	rt := m.Runtime(0)
+	va := rt.Malloc(addr.PageSize)
+	rt.Store(va, 0x1122334455667788)
+	if err := m.RunInvariantSweep(); err != nil {
+		t.Fatalf("clean machine: %v", err)
+	}
+
+	pte, _ := rt.Process().AS.Lookup(va.Page())
+	m.Img.Write(pte.PPN.Addr(), []byte{0xEE}) // silent corruption
+	err := m.RunInvariantSweep()
+	if err == nil {
+		t.Fatal("corrupted image passed the sweep")
+	}
+	if !strings.Contains(err.Error(), "contract requires") {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+// TestSweepDetectsZeroPageCorruption: a write leaking through the shared
+// CoW zero page is visible to every process; the sweep must flag it.
+func TestSweepDetectsZeroPageCorruption(t *testing.T) {
+	m := MustNew(testConfig(memctrl.SilentShredder, kernel.ZeroShred))
+	if err := m.RunInvariantSweep(); err != nil {
+		t.Fatalf("clean machine: %v", err)
+	}
+	m.Img.Write(m.Kernel.ZeroPPN().Addr()+5, []byte{1})
+	if err := m.RunInvariantSweep(); err == nil {
+		t.Fatal("corrupted zero page passed the sweep")
+	} else if !strings.Contains(err.Error(), "zero page") {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+// TestSweepDetectsCounterRollback: rolling a counter back between sweeps
+// is the replay attack the integrity machinery exists to prevent; the
+// monotonicity pass must notice.
+func TestSweepDetectsCounterRollback(t *testing.T) {
+	m := MustNew(checkedTestConfig(memctrl.SilentShredder, kernel.ZeroShred))
+	rt := m.Runtime(0)
+	va := rt.Malloc(addr.PageSize)
+	rt.Store(va, 7)
+	pte, _ := rt.Process().AS.Lookup(va.Page())
+	m.Hier.FlushAll()
+	m.MC.Flush()
+	if err := m.RunInvariantSweep(); err != nil {
+		t.Fatalf("clean machine: %v", err)
+	}
+
+	// Snapshot, shred (major++), then roll the counter region back.
+	before := m.MC.CounterCache().SnapshotRegion()
+	m.MC.Shred(pte.PPN)
+	m.Hier.ShredInvalidate(pte.PPN)
+	// Out-of-band architectural event: tell the oracle.
+	m.Checker().Oracle(rt.Process().PID).ZeroRange(va, 1)
+	if err := m.RunInvariantSweep(); err != nil {
+		t.Fatalf("after shred: %v", err)
+	}
+	m.MC.CounterCache().RestoreRegion(before)
+	if err := m.RunInvariantSweep(); err == nil {
+		t.Fatal("counter rollback passed the sweep")
+	} else if !strings.Contains(err.Error(), "rolled back") {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+// TestHugePageShredUnderInvariantSweep drives the 2MB-page path (one
+// shred per 4KB frame, per §5) with the oracle attached and periodic
+// sweeps running.
+func TestHugePageShredUnderInvariantSweep(t *testing.T) {
+	cfg := checkedTestConfig(memctrl.SilentShredder, kernel.ZeroShred)
+	cfg.CheckEvery = 64
+	m := MustNew(cfg)
+	rt := m.Runtime(0)
+	base := m.Kernel.MmapHuge(rt.Process(), 1)
+
+	// First store faults the whole huge page in: 512 frames shredded.
+	rt.Store(base, 0xFEED)
+	if m.Kernel.HugeFaults() != 1 {
+		t.Fatalf("huge faults = %d", m.Kernel.HugeFaults())
+	}
+	// Touch frames across the huge page; every load is oracle-checked.
+	for i := 0; i < kernel.HugePages; i += 16 {
+		va := base + addr.Virt(i*addr.PageSize)
+		rt.Store(va, uint64(i))
+		if got := rt.Load(va); got != uint64(i) {
+			t.Fatalf("frame %d = %d", i, got)
+		}
+	}
+	// Shred a range inside the huge mapping through the syscall.
+	rt.ShredRange(base, 64)
+	if got := rt.LoadBytes(base, addr.BlockSize); !bytes.Equal(got, make([]byte, addr.BlockSize)) {
+		t.Fatalf("shredded huge frames read % x", got[:8])
+	}
+	if err := m.RunInvariantSweep(); err != nil {
+		t.Fatalf("final sweep: %v", err)
+	}
+	if m.Checker().Sweeps() == 0 {
+		t.Fatal("no periodic sweeps ran")
+	}
+}
+
+// TestEnclaveTeardownUnderInvariantSweep: enclave teardown shreds pages
+// at the controller with no runtime operation, so the test injects the
+// architectural event into the oracle out of band and then requires full
+// agreement — cached and evicted variants.
+func TestEnclaveTeardownUnderInvariantSweep(t *testing.T) {
+	const npages = 4
+	for _, p := range securityPersonalities() {
+		for _, evict := range []bool{false, true} {
+			variant := "cached"
+			if evict {
+				variant = "evicted"
+			}
+			t.Run(p.name+"/"+variant, func(t *testing.T) {
+				m := MustNew(checkedTestConfig(p.mode, p.zm))
+				rt := m.Runtime(0)
+				proc := rt.Process()
+				va := rt.Malloc(npages * addr.PageSize)
+				for i := 0; i < npages; i++ {
+					rt.StoreBytes(va+addr.Virt(i*addr.PageSize), secretBlock)
+				}
+				e, err := m.Kernel.CreateEnclave(0, proc, va, npages)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if e.Pages() != npages {
+					t.Fatalf("enclave pages = %d", e.Pages())
+				}
+				if evict {
+					m.Hier.FlushAll()
+					m.MC.Flush()
+				}
+
+				if lat := m.Kernel.DestroyEnclave(e); lat == 0 {
+					t.Fatal("teardown must cost cycles")
+				}
+				// The hardware shredded the pages; tell the oracle.
+				m.Checker().Oracle(proc.PID).ZeroRange(va, npages)
+
+				if err := m.RunInvariantSweep(); err != nil {
+					t.Fatalf("sweep after teardown: %v", err)
+				}
+				got := rt.LoadBytes(va, npages*addr.PageSize)
+				if !bytes.Equal(got, make([]byte, len(got))) {
+					t.Fatalf("enclave memory survived teardown: % x ...", got[:16])
+				}
+				if m.Kernel.EnclavePagesShredded() != npages {
+					t.Fatalf("pages shredded = %d", m.Kernel.EnclavePagesShredded())
+				}
+			})
+		}
+	}
+}

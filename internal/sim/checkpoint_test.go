@@ -2,12 +2,16 @@ package sim
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
 	"silentshredder/internal/addr"
+	"silentshredder/internal/apprt"
 	"silentshredder/internal/kernel"
 	"silentshredder/internal/memctrl"
+	"silentshredder/internal/oracle"
+	"silentshredder/internal/trace"
 )
 
 func TestCheckpointRoundTrip(t *testing.T) {
@@ -75,6 +79,77 @@ func TestCheckpointBadStreamRejected(t *testing.T) {
 	m := MustNew(testConfig(memctrl.SilentShredder, kernel.ZeroShred))
 	if err := m.LoadMemoryState(strings.NewReader("garbage")); err == nil {
 		t.Fatal("garbage accepted as checkpoint")
+	}
+}
+
+// TestCheckpointMidWorkloadRoundTrip is the checkpoint fidelity property:
+// save a machine halfway through a generated workload, restore into a
+// fresh machine and require bit-identical persistent state, then replay
+// the remainder on the interrupted machine and require its final state
+// *and every statistic* to equal an uninterrupted run's. (SaveMemoryState
+// drains the caches, so the uninterrupted reference performs the same
+// drain at the same operation index.)
+func TestCheckpointMidWorkloadRoundTrip(t *testing.T) {
+	w := oracle.Generate(oracle.DefaultGenConfig(21))
+	k := len(w.Ops) / 2
+	cfg := testConfig(memctrl.SilentShredder, kernel.ZeroShred)
+
+	replay := func(rt *apprt.Runtime, ops []apprt.TraceOp) {
+		t.Helper()
+		for i, op := range ops {
+			if err := trace.Replay(rt, op); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+
+	// Reference run A: uninterrupted, with the checkpoint's drain
+	// performed at the same op index.
+	a := MustNew(cfg)
+	rtA := a.Runtime(0)
+	replay(rtA, w.Ops[:k])
+	a.Hier.FlushAll()
+	a.MC.Flush()
+	replay(rtA, w.Ops[k:])
+
+	// Run B: checkpoint at op k.
+	b := MustNew(cfg)
+	rtB := b.Runtime(0)
+	replay(rtB, w.Ops[:k])
+	var buf bytes.Buffer
+	if err := b.SaveMemoryState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restored machine: persistent state identical to B's at the save.
+	c := MustNew(cfg)
+	if err := c.LoadMemoryState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.Img.Snapshot(), b.Img.Snapshot()) {
+		t.Fatal("architectural image differs after restore")
+	}
+	if !reflect.DeepEqual(c.MC.CounterCache().SnapshotRegion(), b.MC.CounterCache().SnapshotRegion()) {
+		t.Fatal("counter region differs after restore")
+	}
+	if !reflect.DeepEqual(c.Dev.Snapshot(), b.Dev.Snapshot()) {
+		t.Fatal("NVM device state differs after restore")
+	}
+
+	// B replays the remainder: the interruption must be invisible.
+	replay(rtB, w.Ops[k:])
+	if !reflect.DeepEqual(a.Img.Snapshot(), b.Img.Snapshot()) {
+		t.Fatal("final architectural state diverged from the uninterrupted run")
+	}
+	if !reflect.DeepEqual(a.MC.CounterCache().SnapshotRegion(), b.MC.CounterCache().SnapshotRegion()) {
+		t.Fatal("final counter region diverged from the uninterrupted run")
+	}
+	if ad, bd := a.Snapshot().Dump(), b.Snapshot().Dump(); ad != bd {
+		t.Fatalf("statistics diverged from the uninterrupted run:\n--- uninterrupted\n%s\n--- checkpointed\n%s", ad, bd)
+	}
+	// And the final machine satisfies every architectural invariant.
+	if err := b.RunInvariantSweep(); err != nil {
+		t.Fatalf("invariant sweep: %v", err)
 	}
 }
 

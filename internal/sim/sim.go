@@ -38,6 +38,15 @@ type Config struct {
 	// VerifyPlaintext cross-checks every controller decrypt against the
 	// functional image (requires StoreData).
 	VerifyPlaintext bool
+
+	// CheckOracle attaches a pure-functional architectural oracle to every
+	// runtime and runs machine-wide invariant sweeps every CheckEvery
+	// observed operations (see check.go). Implies StoreData.
+	CheckOracle bool
+
+	// CheckEvery is the invariant-sweep period in observed runtime
+	// operations (0 = DefaultCheckEvery).
+	CheckEvery int
 }
 
 // Table1Config returns the paper's full Table 1 machine: 8 cores at 2GHz,
@@ -92,10 +101,18 @@ type Machine struct {
 	Hier   *hier.Hierarchy
 	Kernel *kernel.Kernel
 	Source *kernel.LinearSource
+
+	checker *Checker
 }
 
 // New builds a machine from cfg.
 func New(cfg Config) (*Machine, error) {
+	if cfg.CheckOracle {
+		cfg.StoreData = true
+		if err := validateCheckConfig(cfg); err != nil {
+			return nil, err
+		}
+	}
 	cfg.NVM.StoreData = cfg.StoreData
 	cfg.MemCtrl.Mode = cfg.Mode
 	cfg.MemCtrl.VerifyPlaintext = cfg.VerifyPlaintext && cfg.StoreData
@@ -125,6 +142,9 @@ func New(cfg Config) (*Machine, error) {
 	for i := 0; i < cfg.Hier.Cores; i++ {
 		m.Cores = append(m.Cores, cpu.New(i))
 	}
+	if cfg.CheckOracle {
+		m.checker = newChecker(m, cfg.CheckEvery)
+	}
 	return m, nil
 }
 
@@ -140,12 +160,16 @@ func MustNew(cfg Config) *Machine {
 
 // Runtime creates an application runtime for a fresh process on core i.
 func (m *Machine) Runtime(core int) *apprt.Runtime {
-	return apprt.New(m.Kernel, core, m.Kernel.NewProcess(), m.Cores[core])
+	return m.RuntimeFor(core, m.Kernel.NewProcess())
 }
 
 // RuntimeFor binds an existing process to core i.
 func (m *Machine) RuntimeFor(core int, p *kernel.Process) *apprt.Runtime {
-	return apprt.New(m.Kernel, core, p, m.Cores[core])
+	rt := apprt.New(m.Kernel, core, p, m.Cores[core])
+	if m.checker != nil {
+		rt.SetChecker(m.checker.forProcess(p))
+	}
+	return rt
 }
 
 // TotalInstructions sums retired instructions across cores.

@@ -18,21 +18,33 @@ func BenchmarkWriteRecord(b *testing.B) {
 }
 
 func BenchmarkReadRecord(b *testing.B) {
+	// One trace of batch records, re-read as many times as needed so that
+	// exactly b.N records are decoded: with b.SetBytes(17) the reported
+	// throughput is per record. (The loop previously advanced by the batch
+	// size per single decoded trace, under-counting work by 10000x.)
+	const batch = 10000
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)
-	for i := 0; i < 10000; i++ {
+	for i := 0; i < batch; i++ {
 		w.Write(apprt.TraceOp{Kind: apprt.TraceStore, VA: 1, Arg: 2})
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
 	data := buf.Bytes()
 	b.SetBytes(17)
 	b.ResetTimer()
-	for i := 0; i < b.N; i += 10000 {
-		r, _ := NewReader(bytes.NewReader(data))
-		for {
+	read := 0
+	for read < b.N {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for read < b.N {
 			if _, err := r.Next(); err != nil {
 				break
 			}
+			read++
 		}
 	}
 }

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"silentshredder/internal/apprt"
+)
+
+// FuzzTraceCodec throws arbitrary bytes at the trace decoder. The decoder
+// must never panic, and any stream it accepts must re-encode to exactly
+// the input (the codec is bijective: every field is fixed-width and every
+// byte of a record is meaningful).
+func FuzzTraceCodec(f *testing.F) {
+	// Seed: a valid two-record trace.
+	var valid bytes.Buffer
+	w, _ := NewWriter(&valid)
+	w.Write(apprt.TraceOp{Kind: apprt.TraceMalloc, VA: 0x1000_0000, Arg: 4096})
+	w.Write(apprt.TraceOp{Kind: apprt.TraceStore, VA: 0x1000_0008, Arg: 0xDEADBEEF})
+	w.Flush()
+	f.Add(valid.Bytes())
+	// Seed: header only, empty input, bad magic, truncated record.
+	f.Add(Magic[:])
+	f.Add([]byte{})
+	f.Add([]byte("NOTATRACE........."))
+	f.Add(valid.Bytes()[:valid.Len()-4])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: only property is "no panic"
+		}
+		var buf bytes.Buffer
+		wr, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range ops {
+			wr.Write(op)
+		}
+		if err := wr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("accepted stream did not round-trip:\n in: %x\nout: %x", data, buf.Bytes())
+		}
+	})
+}

@@ -96,6 +96,35 @@ func TestTruncatedRecord(t *testing.T) {
 	}
 }
 
+func TestDecodeErrorPaths(t *testing.T) {
+	// Header shorter than the magic.
+	if _, err := NewReader(bytes.NewReader(Magic[:5])); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Correct magic prefix but an unsupported version byte.
+	bad := Magic
+	bad[7] = 99
+	if _, err := NewReader(bytes.NewReader(bad[:])); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	// ReadAll must surface a mid-stream truncation as an error, not as a
+	// silently shorter trace.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		w.Write(apprt.TraceOp{Kind: apprt.TraceStore, VA: addr.Virt(i), Arg: uint64(i)})
+	}
+	w.Flush()
+	if _, err := ReadAll(bytes.NewReader(buf.Bytes()[:buf.Len()-5])); err == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+	// A clean record boundary is EOF, not an error.
+	ops, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(ops) != 3 {
+		t.Fatalf("clean stream: %d ops, err %v", len(ops), err)
+	}
+}
+
 func TestUnknownKindRejectedOnReplay(t *testing.T) {
 	m := machine(t)
 	rt := m.Runtime(0)
