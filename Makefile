@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz cover bench quick-experiments experiments examples clean
+.PHONY: all build test vet race faults fuzz cover bench quick-experiments experiments examples clean
 
 all: build vet test race
 
@@ -23,15 +23,25 @@ test:
 # oracle-checked short workload sweeps (exper.TestCheckedWorkloadSweeps
 # and the sim/oracle differential tests), so every merge re-validates the
 # architectural contract under -race.
-race:
+race: faults
 	$(GO) test -race ./...
 
-# Bounded fuzzing pass over both fuzz targets (seed corpora are committed
+# Robustness gate, folded into tier-1 `race`: the fault-injection and
+# crash-anywhere packages under the race detector, then the deterministic
+# fault-rate sweep and the crash-anywhere recovery sweep end to end
+# (includes the post-crash leak scan via leakscan -crash).
+faults:
+	$(GO) test -race ./internal/fault ./internal/sim ./internal/memctrl
+	$(GO) run -race ./cmd/experiments -quick -cores 2 faults crash
+	$(GO) run -race ./cmd/leakscan -crash 8 -seed 42
+
+# Bounded fuzzing pass over the fuzz targets (seed corpora are committed
 # under testdata/fuzz). FUZZTIME bounds each target's run.
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzTraceCodec -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/oracle -run='^$$' -fuzz=FuzzOracleDifferential -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzCrashRecovery -fuzztime=$(FUZZTIME)
 
 # Coverage over all packages; prints the per-function summary tail and
 # leaves cover.out for `go tool cover -html=cover.out`. The recorded

@@ -8,7 +8,7 @@
 //
 // Experiments: table1 table2 fig4 fig5 fig8 fig9 fig10 fig11 fig12
 // ablation-iv ablation-dcw ablation-deuce ablation-wt ablation-merkle
-// energy export summary all
+// faults crash energy export summary all
 package main
 
 import (
@@ -89,6 +89,20 @@ func main() {
 			fmt.Println(exper.AblationWTTable(exper.AblationWT(o)))
 		case "ablation-merkle":
 			fmt.Println(exper.AblationMerkleTable(exper.AblationMerkle(o)))
+		case "faults":
+			rows, err := exper.FaultSweep(o, "lbm", 42, []float64{1, 4, 16})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(exper.FaultSweepTable(rows))
+		case "crash":
+			rows, err := exper.CrashSweep(o, 42, 16)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(exper.CrashSweepTable(rows))
 		case "energy":
 			fmt.Println(exper.EnergyTable(comparison()))
 		case "summary":
@@ -201,6 +215,8 @@ experiments:
   ablation-wt      write-back vs write-through counter cache
   ablation-writeq  zeroing write bursts blocking reads
   ablation-merkle  Bonsai Merkle integrity overhead
+  faults           ECC corrections and retirements vs injected fault rate
+  crash            crash-anywhere recovery validation sweep
   energy           NVM energy savings (the paper's power-reduction claim)
   export           comparison data as text/csv/json (see -format)
   summary          averages vs the paper's headline numbers

@@ -12,6 +12,7 @@
 //	shredsim -workload pagerank -mode ss -zeroing shred
 //	shredsim -workload mcf -mode baseline -zeroing non-temporal -cores 4
 //	shredsim -workload mcf,gcc,pagerank -parallel 3
+//	shredsim -workload kvstore -faults 42:stuck=1e-3,flip=1e-5,drop=1e-4
 //	shredsim -list
 package main
 
@@ -23,6 +24,7 @@ import (
 	"strings"
 
 	"silentshredder/internal/exper"
+	"silentshredder/internal/fault"
 	"silentshredder/internal/kernel"
 	"silentshredder/internal/memctrl"
 	"silentshredder/internal/stats"
@@ -46,8 +48,15 @@ func main() {
 		wt        = flag.Bool("write-through", false, "write-through counter cache (no battery needed)")
 		saveNVM   = flag.String("save-nvm", "", "after the run, write a memory-state checkpoint (DIMM image) to this file (single workload only)")
 		check     = flag.Bool("check", false, "cross-check every load against the architectural oracle and sweep machine-wide invariants (slow; violations abort)")
+		faults    = flag.String("faults", "", "deterministic fault injection, seed:rate,... e.g. 42:stuck=1e-3,flip=1e-6,drop=1e-4,torn=1e-5,endur=1000 (enables ECC; \"off\" or empty disables)")
 	)
 	flag.Parse()
+
+	faultCfg, err := fault.Parse(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("SPEC CPU2006 profiles:")
@@ -101,6 +110,11 @@ func main() {
 		Integrity:        *integrity,
 		CounterCacheSize: *ccSize,
 		WriteThrough:     *wt,
+		Faults:           faultCfg,
+	}
+	if faultCfg.Enabled() && *check {
+		fmt.Fprintln(os.Stderr, "shredsim: -check and -faults are incompatible (lost lines legitimately diverge from the oracle)")
+		os.Exit(2)
 	}
 
 	if len(names) == 1 {

@@ -12,6 +12,7 @@ package apprt
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"silentshredder/internal/addr"
 	"silentshredder/internal/clock"
@@ -77,6 +78,40 @@ type TraceOp struct {
 	Kind TraceKind
 	VA   addr.Virt
 	Arg  uint64
+}
+
+// Apply executes one trace operation against the runtime — the inverse
+// of the trace hook. Memset records carry the value and temporal/NT
+// choice packed in Arg (size<<9 | nt<<8 | value). trace.Replay and the
+// crash-anywhere harness both drive machines through this dispatch.
+func (rt *Runtime) Apply(op TraceOp) error {
+	switch op.Kind {
+	case TraceLoad:
+		rt.Load(op.VA)
+	case TraceStore:
+		rt.Store(op.VA, op.Arg)
+	case TraceCompute:
+		rt.Compute(op.Arg)
+	case TraceMalloc:
+		base := rt.Malloc(int(op.Arg))
+		if base != op.VA {
+			return fmt.Errorf("apprt: replay allocated %v, trace expects %v (machine layout differs)", base, op.VA)
+		}
+	case TraceFree:
+		rt.Free(op.VA, int(op.Arg))
+	case TraceMemset:
+		size := int(op.Arg >> 9)
+		if op.Arg>>8&1 == 1 {
+			rt.MemsetNT(op.VA, byte(op.Arg), size)
+		} else {
+			rt.Memset(op.VA, byte(op.Arg), size)
+		}
+	case TraceShredRange:
+		rt.ShredRange(op.VA, int(op.Arg))
+	default:
+		return fmt.Errorf("apprt: unknown trace op kind %d", op.Kind)
+	}
+	return nil
 }
 
 // SetTraceHook installs fn as the operation observer (nil disables).

@@ -53,13 +53,28 @@ func DefaultConfig() Config {
 	return Config{Size: 4 << 20, Assoc: 8, HitLatency: 10, BatteryBacked: true}
 }
 
+// Backend mediates the cache's device traffic. When set (the memory
+// controller's ECC/fault layer installs itself here), counter fetches and
+// writebacks go through it instead of hitting the NVM device directly, so
+// counter blocks get the same error correction and line retirement as data
+// blocks. When nil, traffic goes straight to the device — the default,
+// byte-identical-with-the-seed path.
+type Backend interface {
+	// ReadCounters models fetching the 64-byte counter line at a (a
+	// RegionBase-relative counter address) and returns the latency.
+	ReadCounters(a addr.Phys) clock.Cycles
+	// WriteCounters persists enc (a 64-byte encoded counter block) at a.
+	WriteCounters(a addr.Phys, enc []byte)
+}
+
 // Cache is the counter cache plus its NVM-resident backing region.
 type Cache struct {
-	cfg    Config
-	tags   *cache.Cache
-	cached map[addr.PageNum]*ctr.CounterBlock // contents of resident lines
-	region map[addr.PageNum]ctr.CounterBlock  // NVM-resident (persistent) values
-	dev    *nvm.Device
+	cfg     Config
+	tags    *cache.Cache
+	cached  map[addr.PageNum]*ctr.CounterBlock // contents of resident lines
+	region  map[addr.PageNum]ctr.CounterBlock  // NVM-resident (persistent) values
+	dev     *nvm.Device
+	backend Backend // optional ECC/fault mediation layer
 
 	fetches, writebacks, writeThroughs stats.Counter
 	prefetches                         stats.Counter
@@ -85,6 +100,36 @@ func New(cfg Config, dev *nvm.Device) *Cache {
 // Config returns the configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// SetBackend installs a device-traffic mediation layer (ECC). Pass nil to
+// restore direct device access.
+func (c *Cache) SetBackend(b Backend) { c.backend = b }
+
+// PageOf translates a counter-region physical address back to the page
+// whose counters it holds. The ECC layer uses it to identify which page a
+// failed counter line belongs to.
+func (c *Cache) PageOf(ctrA addr.Phys) addr.PageNum { return pageOfCtrAddr(ctrA) }
+
+// CtrAddr returns the counter-region device address holding page p's
+// counter block (the inverse of PageOf).
+func (c *Cache) CtrAddr(p addr.PageNum) addr.Phys { return ctrAddr(p) }
+
+// readDev issues a counter-line read, through the backend when one is set.
+func (c *Cache) readDev(a addr.Phys) clock.Cycles {
+	if c.backend != nil {
+		return c.backend.ReadCounters(a)
+	}
+	return c.dev.ReadBlock(a, nil)
+}
+
+// writeDev issues a counter-line write, through the backend when one is set.
+func (c *Cache) writeDev(a addr.Phys, enc []byte) {
+	if c.backend != nil {
+		c.backend.WriteCounters(a, enc)
+		return
+	}
+	c.dev.WriteBlock(a, enc)
+}
+
 func ctrAddr(p addr.PageNum) addr.Phys {
 	return RegionBase + addr.Phys(p)<<addr.BlockShift
 }
@@ -104,7 +149,7 @@ func (c *Cache) Get(p addr.PageNum) (*ctr.CounterBlock, clock.Cycles, bool) {
 	}
 	// Miss: fetch from NVM.
 	c.fetches.Inc()
-	lat := c.cfg.HitLatency + c.dev.ReadBlock(ctrAddr(p), nil)
+	lat := c.cfg.HitLatency + c.readDev(ctrAddr(p))
 	// Install the prefetched block *before* the demand block. If both map
 	// to the same (full) set, installing p+1 second could pick the
 	// just-installed demand block as its eviction victim — and Get would
@@ -114,7 +159,7 @@ func (c *Cache) Get(p addr.PageNum) (*ctr.CounterBlock, clock.Cycles, bool) {
 	if c.cfg.PrefetchNext {
 		if next := p + 1; c.tags.Probe(ctrAddr(next)) == nil {
 			c.prefetches.Inc()
-			c.dev.ReadBlock(ctrAddr(next), nil) // overlapped: no latency charged
+			c.readDev(ctrAddr(next)) // overlapped: no latency charged
 			nb := c.region[next]
 			c.install(next, &nb, false)
 		}
@@ -146,7 +191,7 @@ func (c *Cache) writebackPage(p addr.PageNum) {
 	c.region[p] = *cb
 	c.writebacks.Inc()
 	enc := cb.Encode()
-	c.dev.WriteBlock(ctrAddr(p), enc[:])
+	c.writeDev(ctrAddr(p), enc[:])
 }
 
 // MarkDirty records that page p's cached counter block was mutated. In
@@ -163,7 +208,7 @@ func (c *Cache) MarkDirty(p addr.PageNum) {
 		if cb, ok := c.cached[p]; ok {
 			c.region[p] = *cb
 			enc := cb.Encode()
-			c.dev.WriteBlock(ctrAddr(p), enc[:])
+			c.writeDev(ctrAddr(p), enc[:])
 		}
 		return
 	}

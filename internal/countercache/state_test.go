@@ -1,0 +1,121 @@
+package countercache
+
+// Persistent-region plumbing tests: snapshot/restore, adversarial
+// tampering, the enumeration helpers crash recovery and the invariant
+// sweep are built on, and the coherence self-check.
+
+import (
+	"testing"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/ctr"
+)
+
+func TestSnapshotRestoreRegion(t *testing.T) {
+	cc, _ := newCC(t, smallCfg())
+	cb, _, _ := cc.Get(2)
+	cb.Shred()
+	cc.MarkDirty(2)
+	cc.Flush()
+	snap := cc.SnapshotRegion()
+
+	cc2, _ := newCC(t, smallCfg())
+	cc2.RestoreRegion(snap)
+	if got := cc2.PersistedValue(2); got.Major != 1 || !got.Shredded(0) {
+		t.Fatalf("restored region lost the shred: %+v", got)
+	}
+	// Restored machines boot cold: the first Get must miss.
+	if _, _, hit := cc2.Get(2); hit {
+		t.Fatal("restored cache claims a warm hit")
+	}
+	// The snapshot shares no memory with the source.
+	snap[2] = ctr.CounterBlock{Major: 99}
+	if cc.PersistedValue(2).Major == 99 {
+		t.Fatal("snapshot aliases the live region")
+	}
+}
+
+func TestTamperPersistedBypassesBookkeeping(t *testing.T) {
+	cc, _ := newCC(t, smallCfg())
+	cc.Get(4)
+	cc.Flush()
+	forged := ctr.CounterBlock{Major: 1234}
+	cc.TamperPersisted(4, forged)
+	if cc.PersistedValue(4).Major != 1234 {
+		t.Fatal("tamper did not stick")
+	}
+}
+
+func TestForEachCurrentPrefersCachedValue(t *testing.T) {
+	cc, _ := newCC(t, smallCfg())
+	cb, _, _ := cc.Get(1)
+	cb.BumpMajor()
+	cc.MarkDirty(1) // dirty: the current value lives only in the cache
+	cc.Get(3)       // clean resident line
+
+	got := make(map[addr.PageNum]uint64)
+	var order []addr.PageNum
+	cc.ForEachCurrent(func(p addr.PageNum, cb ctr.CounterBlock) {
+		got[p] = cb.Major
+		order = append(order, p)
+	})
+	if got[1] != 1 {
+		t.Fatalf("ForEachCurrent gave major %d for the dirty page, want 1", got[1])
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("pages out of order: %v", order)
+		}
+	}
+
+	cc.Flush()
+	seen := false
+	cc.ForEachPersisted(func(p addr.PageNum, cb ctr.CounterBlock) {
+		if p == 1 && cb.Major == 1 {
+			seen = true
+		}
+	})
+	if !seen {
+		t.Fatal("flushed counters missing from ForEachPersisted")
+	}
+}
+
+func TestCheckCoherence(t *testing.T) {
+	cc, _ := newCC(t, smallCfg())
+	cb, _, _ := cc.Get(6)
+	cb.BumpMinor(0)
+	cc.MarkDirty(6)
+	if err := cc.CheckCoherence(); err != nil {
+		t.Fatalf("coherent cache flagged: %v", err)
+	}
+	cc.Flush()
+	if err := cc.CheckCoherence(); err != nil {
+		t.Fatalf("flushed cache flagged: %v", err)
+	}
+	// Mutating a resident line outside the MarkDirty protocol is exactly
+	// the class of bug the check exists to catch.
+	cb2, _, hit := cc.Get(6)
+	if !hit {
+		t.Fatal("flushed line not resident")
+	}
+	cb2.BumpMajor()
+	if err := cc.CheckCoherence(); err == nil {
+		t.Fatal("clean line diverging from NVM not detected")
+	}
+}
+
+func TestCheckCoherenceWriteThrough(t *testing.T) {
+	cfg := smallCfg()
+	cfg.BatteryBacked = false
+	cfg.WriteThrough = true
+	cc, _ := newCC(t, cfg)
+	cb, _, _ := cc.Get(2)
+	cb.BumpMinor(3)
+	cc.MarkDirty(2) // write-through: propagates immediately, stays clean
+	if err := cc.CheckCoherence(); err != nil {
+		t.Fatalf("write-through cache flagged: %v", err)
+	}
+	if cc.PersistedValue(2).Minor[3] != cc.Peek(2).Minor[3] {
+		t.Fatal("write-through did not propagate")
+	}
+}

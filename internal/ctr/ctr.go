@@ -48,12 +48,36 @@ type CounterBlock struct {
 	Minor [addr.BlocksPerPage]uint8 // 7-bit values, 0 = shredded
 }
 
+// SaturationError reports an attempt to advance a major counter past its
+// 64-bit maximum. Silently wrapping a major counter to 0 would reuse
+// every pad ever generated for the page — the one unforgivable sin of
+// counter-mode encryption — so the engine refuses with a typed error
+// instead. (At one shred per nanosecond, saturation takes ~584 years; a
+// real controller would re-key the device long before. The simulator
+// makes the boundary explicit and testable.)
+type SaturationError struct {
+	Major uint64
+}
+
+func (e *SaturationError) Error() string {
+	return fmt.Sprintf("ctr: major counter saturated at %d; advancing would wrap and reuse pads (device must be re-keyed)", e.Major)
+}
+
+// BumpMajor advances the major counter, panicking with a *SaturationError
+// if it is at its maximum — the explicit rejection of silent wraparound.
+func (cb *CounterBlock) BumpMajor() {
+	if cb.Major == ^uint64(0) {
+		panic(&SaturationError{Major: cb.Major})
+	}
+	cb.Major++
+}
+
 // Shred applies Silent Shredder's page shred: the major counter is
 // incremented (changing every block's IV, which renders the existing
 // ciphertext undecipherable) and all minor counters are reset to the
 // reserved shredded value so subsequent reads return zero-filled blocks.
 func (cb *CounterBlock) Shred() {
-	cb.Major++
+	cb.BumpMajor()
 	for i := range cb.Minor {
 		cb.Minor[i] = MinorShredded
 	}
@@ -64,7 +88,7 @@ func (cb *CounterBlock) Shred() {
 // the reserved 0 — paper §4.2). The caller is responsible for actually
 // rewriting the page's blocks under the new IVs.
 func (cb *CounterBlock) Reencrypt() {
-	cb.Major++
+	cb.BumpMajor()
 	for i := range cb.Minor {
 		cb.Minor[i] = MinorFirst
 	}

@@ -10,6 +10,7 @@ import (
 
 	"silentshredder/internal/addr"
 	"silentshredder/internal/apprt"
+	"silentshredder/internal/fault"
 	"silentshredder/internal/kernel"
 	"silentshredder/internal/memctrl"
 	"silentshredder/internal/sim"
@@ -259,6 +260,10 @@ type MachineTweaks struct {
 	Integrity        bool
 	CounterCacheSize int // bytes; 0 keeps the scaled Table 1 size
 	WriteThrough     bool
+
+	// Faults enables the deterministic fault injector (zero value = perfect
+	// device). Forces the functional data path and the ECC layer on.
+	Faults fault.Config
 }
 
 // RunWorkloadTweaked is RunWorkload with controller-feature overrides.
@@ -277,6 +282,10 @@ func RunWorkloadTweaked(o Options, name string, mode memctrl.Mode, zm kernel.Zer
 	cfg.CheckOracle = o.Check
 	if t.CounterCacheSize > 0 {
 		cfg.MemCtrl.CounterCache.Size = t.CounterCacheSize
+	}
+	if t.Faults.Enabled() {
+		cfg.Faults = t.Faults
+		cfg.CheckOracle = false // faults and the oracle are incompatible
 	}
 	if t.DEUCE && !cfg.StoreData {
 		// DEUCE's partial re-encryption needs the data path.

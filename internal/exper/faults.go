@@ -1,0 +1,195 @@
+// Fault-injection and crash-anywhere experiments: the robustness
+// counterpart to the performance figures. Not in the paper's evaluation —
+// the paper assumes a perfect device — but §2.1's endurance argument is
+// why a Silent Shredder controller must coexist with a failing medium,
+// and these sweeps measure how the ECC/retirement machinery behaves as
+// fault rates escalate.
+package exper
+
+import (
+	"fmt"
+
+	"silentshredder/internal/fault"
+	"silentshredder/internal/kernel"
+	"silentshredder/internal/memctrl"
+	"silentshredder/internal/oracle"
+	"silentshredder/internal/sim"
+	"silentshredder/internal/stats"
+)
+
+// FaultSweepRow is one (mechanism, fault-rate) measurement.
+type FaultSweepRow struct {
+	Mechanism string
+	Spec      string // the fault spec in CLI syntax (reproducible)
+
+	StuckCells    uint64
+	ReadFlips     uint64
+	DroppedWrites uint64
+	TornWrites    uint64
+
+	Corrections   uint64
+	Uncorrectable uint64
+	LinesRetired  uint64
+	PagesRetired  uint64
+
+	IPC float64
+}
+
+// baseFaultRates is the unit-multiplier fault configuration of the sweep:
+// aggressive enough that a short workload exercises every error path,
+// deterministic from the seed.
+func baseFaultRates(seed int64) fault.Config {
+	return fault.Config{
+		Seed:          seed,
+		StuckPerWrite: 1e-4,
+		ReadFlip:      5e-5,
+		DropWrite:     5e-5,
+		TornWrite:     2e-5,
+		Endurance:     64,
+	}
+}
+
+// FaultSweep runs workload under escalating fault rates for the baseline
+// (non-temporal zeroing) and Silent Shredder machines, returning one row
+// per (mechanism, multiplier). Fixed seed => byte-identical output.
+func FaultSweep(o Options, workload string, seed int64, mults []float64) ([]FaultSweepRow, error) {
+	o = o.normalized()
+	// The sweep measures the error machinery, not cache performance: pin
+	// the caches small enough that the workload actually generates NVM
+	// traffic for the injector to corrupt. At the default 1/8 scale the
+	// hierarchy holds the whole working set and no fault ever fires.
+	if o.Scale < 256 {
+		o.Scale = 256
+	}
+	type mech struct {
+		name string
+		mode memctrl.Mode
+		zm   kernel.ZeroMode
+	}
+	mechs := []mech{
+		{"baseline-nt", memctrl.Baseline, kernel.ZeroNonTemporal},
+		{"silent-shredder", memctrl.SilentShredder, kernel.ZeroShred},
+	}
+	var rows []FaultSweepRow
+	for _, mult := range mults {
+		cfg := baseFaultRates(seed)
+		cfg.StuckPerWrite *= mult
+		cfg.ReadFlip *= mult
+		cfg.DropWrite *= mult
+		cfg.TornWrite *= mult
+		for _, mc := range mechs {
+			m, err := RunWorkloadTweaked(o, workload, mc.mode, mc.zm, MachineTweaks{Faults: cfg})
+			if err != nil {
+				return nil, err
+			}
+			m.Hier.FlushAll()
+			m.MC.Flush()
+			rows = append(rows, FaultSweepRow{
+				Mechanism:     mc.name,
+				Spec:          cfg.String(),
+				StuckCells:    m.Injector.StuckCells(),
+				ReadFlips:     m.Injector.ReadFlips(),
+				DroppedWrites: m.Injector.DroppedWrites(),
+				TornWrites:    m.Injector.TornWrites(),
+				Corrections:   m.MC.EccCorrections(),
+				Uncorrectable: m.MC.EccUncorrectable(),
+				LinesRetired:  m.MC.LinesRetired(),
+				PagesRetired:  m.Kernel.PagesRetired(),
+				IPC:           m.AggregateIPC(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FaultSweepTable renders a fault sweep.
+func FaultSweepTable(rows []FaultSweepRow) *stats.Table {
+	t := stats.NewTable(
+		"Fault sweep: ECC corrections, retirements and throughput vs injected fault rate",
+		"mechanism", "faults", "stuck_cells", "read_flips", "dropped_wr", "torn_wr",
+		"ecc_corr", "ecc_uncorr", "lines_retired", "pages_retired", "ipc")
+	for _, r := range rows {
+		t.AddRow(r.Mechanism, r.Spec, r.StuckCells, r.ReadFlips, r.DroppedWrites, r.TornWrites,
+			r.Corrections, r.Uncorrectable, r.LinesRetired, r.PagesRetired, fmt.Sprintf("%.3f", r.IPC))
+	}
+	return t
+}
+
+// CrashSweepRow summarizes crash-anywhere coverage for one personality.
+type CrashSweepRow struct {
+	Personality string
+	Points      int // crash points exercised (including quiescence)
+	Crashes     int // points that actually cut an operation short
+	TotalWrites uint64
+	Forbidden   int // forbidden fingerprints at the last crash point
+}
+
+// CrashSweep replays a seeded workload with a crash scheduled at `points`
+// evenly spaced device-write indices (plus the quiescent end point) for
+// each machine personality, recovering and validating the
+// persistent-state projection at every point. An error means a projection
+// violation — pre-shred plaintext resurfaced or a shredded block read
+// nonzero.
+func CrashSweep(o Options, seed int64, points int) ([]CrashSweepRow, error) {
+	o = o.normalized()
+	if points < 1 {
+		points = 8
+	}
+	w := oracle.Generate(oracle.DefaultGenConfig(seed))
+
+	type pers struct {
+		name         string
+		mode         memctrl.Mode
+		zm           kernel.ZeroMode
+		integrity    bool
+		writeThrough bool
+	}
+	personalities := []pers{
+		{name: "baseline-nt", mode: memctrl.Baseline, zm: kernel.ZeroNonTemporal},
+		{name: "baseline-temporal", mode: memctrl.Baseline, zm: kernel.ZeroTemporal},
+		{name: "silent-shredder", mode: memctrl.SilentShredder, zm: kernel.ZeroShred},
+		{name: "silent-shredder-wt", mode: memctrl.SilentShredder, zm: kernel.ZeroShred, writeThrough: true},
+	}
+
+	var rows []CrashSweepRow
+	for _, p := range personalities {
+		cfg := sim.ScaledConfig(p.mode, p.zm, 64)
+		cfg.Hier.Cores = 2
+		cfg.MemPages = 8192
+		cfg.StoreData = true
+		cfg.MemCtrl.Integrity = p.integrity
+		cfg.MemCtrl.CounterCache.WriteThrough = p.writeThrough
+
+		// Baseline run: never crashes, measures the write-count domain.
+		_, base, err := sim.ReplayToCrash(cfg, w, ^uint64(0))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.name, err)
+		}
+		row := CrashSweepRow{Personality: p.name, TotalWrites: base.Writes, Forbidden: base.Forbidden}
+		for i := 0; i < points; i++ {
+			idx := uint64(i) * base.Writes / uint64(points)
+			_, out, err := sim.ReplayToCrash(cfg, w, idx)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p.name, err)
+			}
+			row.Points++
+			if out.Crashed {
+				row.Crashes++
+			}
+		}
+		row.Points++ // the quiescent baseline point above
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CrashSweepTable renders a crash sweep.
+func CrashSweepTable(rows []CrashSweepRow) *stats.Table {
+	t := stats.NewTable(
+		"Crash-anywhere sweep: recovery validated at evenly spaced power-cut points",
+		"personality", "points", "mid-op_crashes", "total_writes", "forbidden_fps")
+	for _, r := range rows {
+		t.AddRow(r.Personality, r.Points, r.Crashes, r.TotalWrites, r.Forbidden)
+	}
+	return t
+}

@@ -1,0 +1,106 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fault and crash sweeps are CLI-facing, but they are also the only
+// callers of the Machine fault plumbing from this package, so exercise a
+// miniature version of each here: determinism of the rendered table and
+// the structural invariants of the rows.
+
+func TestFaultSweepQuickDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep is a full simulation run")
+	}
+	o := Options{Cores: 2, Quick: true}
+	run := func() string {
+		rows, err := FaultSweep(o, "lbm", 42, []float64{4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("rows = %d, want 2 (one per mechanism)", len(rows))
+		}
+		for _, r := range rows {
+			if r.Spec == "" {
+				t.Fatalf("%s: empty fault spec", r.Mechanism)
+			}
+			if r.IPC <= 0 {
+				t.Fatalf("%s: IPC = %v", r.Mechanism, r.IPC)
+			}
+			// The sweep pins the scale so the workload reaches the device:
+			// at least one injected event must have fired.
+			if r.StuckCells+r.ReadFlips+r.DroppedWrites+r.TornWrites == 0 {
+				t.Fatalf("%s: no faults fired (spec %s)", r.Mechanism, r.Spec)
+			}
+		}
+		return FaultSweepTable(rows).String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("fault sweep not deterministic:\n%s\n-- vs --\n%s", a, b)
+	}
+	if !strings.Contains(a, "baseline-nt") || !strings.Contains(a, "silent-shredder") {
+		t.Fatalf("table missing mechanisms:\n%s", a)
+	}
+}
+
+func TestCrashSweepValidatesAllPersonalities(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep replays the workload many times")
+	}
+	rows, err := CrashSweep(Options{Cores: 2, Quick: true}, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 personalities", len(rows))
+	}
+	want := map[string]bool{
+		"baseline-nt": true, "baseline-temporal": true,
+		"silent-shredder": true, "silent-shredder-wt": true,
+	}
+	for _, r := range rows {
+		if !want[r.Personality] {
+			t.Fatalf("unexpected personality %q", r.Personality)
+		}
+		delete(want, r.Personality)
+		if r.Points != 4 { // 3 scheduled cuts + the quiescent baseline
+			t.Fatalf("%s: Points = %d, want 4", r.Personality, r.Points)
+		}
+		if r.TotalWrites == 0 {
+			t.Fatalf("%s: workload produced no device writes", r.Personality)
+		}
+		if r.Crashes == 0 {
+			t.Fatalf("%s: no scheduled point cut an operation short", r.Personality)
+		}
+	}
+	tbl := CrashSweepTable(rows).String()
+	if !strings.Contains(tbl, "silent-shredder-wt") {
+		t.Fatalf("table missing personality:\n%s", tbl)
+	}
+}
+
+func TestCrashSweepDefaultsPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep replays the workload many times")
+	}
+	rows, err := CrashSweep(Options{Cores: 2, Quick: true}, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Points != 9 { // points<1 defaults to 8, plus quiescence
+			t.Fatalf("%s: Points = %d, want 9", r.Personality, r.Points)
+		}
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.Cores != 8 || o.Scale != 8 {
+		t.Fatalf("DefaultOptions = %+v", o)
+	}
+}

@@ -68,6 +68,12 @@ func (k *Kernel) faultHuge(core int, p *Process, base addr.VPageNum) (clock.Cycl
 		return 0, false
 	}
 	ppn, ok := cs.AllocContiguous(HugePages)
+	for ok && k.rangeRetired(ppn, HugePages) {
+		// A retired frame poisons the whole contiguous range: drop the
+		// range (a real buddy allocator would have split around it) and
+		// try the next one.
+		ppn, ok = cs.AllocContiguous(HugePages)
+	}
 	if !ok {
 		k.oomEvents.Inc()
 		return 0, false

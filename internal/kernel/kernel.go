@@ -155,6 +155,13 @@ type Kernel struct {
 	persistent       map[string]*persistentRegion // live registry
 	persistedJournal map[string]*persistentRegion // committed to NVM
 
+	// retired marks physical pages withdrawn from circulation because the
+	// underlying NVM lines degraded past the controller's threshold. A
+	// retired page is never handed out again; if it is mapped when retired,
+	// the mapping stays (the controller's line remapping keeps it usable)
+	// but the frame is dropped on the way back through the allocator.
+	retired map[addr.PageNum]bool
+
 	pageFaults           stats.Counter
 	hugeFaults           stats.Counter
 	cowFaults            stats.Counter
@@ -166,6 +173,7 @@ type Kernel struct {
 	enclavePagesShredded stats.Counter
 	persistFlushes       stats.Counter
 	journalCommits       stats.Counter
+	pagesRetired         stats.Counter
 }
 
 // New creates a kernel managing the given hierarchy with pages from src.
@@ -188,6 +196,7 @@ func New(cfg Config, h *hier.Hierarchy, src PageSource) (*Kernel, error) {
 		enclaves:         make(map[int]*Enclave),
 		persistent:       make(map[string]*persistentRegion),
 		persistedJournal: make(map[string]*persistentRegion),
+		retired:          make(map[addr.PageNum]bool),
 		nextPID:          1,
 	}
 	for i := 0; i < h.Config().Cores; i++ {
@@ -300,11 +309,62 @@ func (k *Kernel) Translate(core int, p *Process, va addr.Virt, write bool) (addr
 	return pte.PPN.Addr() + addr.Phys(va.PageOffset()), lat
 }
 
+// allocPage draws a physical page from the source, silently discarding
+// retired frames. A retired frame that reaches the free list is dropped
+// here — the analogue of Linux's soft-offlining removing a page from the
+// buddy allocator. Healthy callers never see a retired page.
+func (k *Kernel) allocPage() (addr.PageNum, bool) {
+	ppn, ok := k.src.AllocPage()
+	for ok && k.retired[ppn] {
+		ppn, ok = k.src.AllocPage()
+	}
+	return ppn, ok
+}
+
+// rangeRetired reports whether any frame in [ppn, ppn+n) is retired.
+func (k *Kernel) rangeRetired(ppn addr.PageNum, n int) bool {
+	if len(k.retired) == 0 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if k.retired[ppn+addr.PageNum(i)] {
+			return true
+		}
+	}
+	return false
+}
+
+// RetirePage withdraws physical page ppn from circulation: it will never
+// be handed out by a future allocation. If the page is currently mapped
+// the mapping stays usable (the memory controller's line remapping backs
+// the failed lines with spares); the frame simply never re-enters the
+// pool. Retiring the shared Zero Page is refused — it is read-only and
+// immortal.
+func (k *Kernel) RetirePage(ppn addr.PageNum) {
+	if ppn == k.zeroPPN || k.retired[ppn] {
+		return
+	}
+	k.retired[ppn] = true
+	k.pagesRetired.Inc()
+}
+
+// PageDegraded implements memctrl.FaultSink: the controller reports that
+// page p has lost linesLost lines to retirement, exceeding its
+// degradation threshold. The kernel's policy is to retire the whole frame
+// so the spare region stops bleeding capacity into a dying page.
+func (k *Kernel) PageDegraded(p addr.PageNum, linesLost int) { k.RetirePage(p) }
+
+// PageRetired reports whether physical page ppn has been retired.
+func (k *Kernel) PageRetired(ppn addr.PageNum) bool { return k.retired[ppn] }
+
+// PagesRetired returns the number of physical pages retired.
+func (k *Kernel) PagesRetired() uint64 { return k.pagesRetired.Value() }
+
 // fault allocates and clears a physical page for vpn, maps it writable,
 // and returns the fault cycles.
 func (k *Kernel) fault(core int, p *Process, vpn addr.VPageNum) clock.Cycles {
 	k.pageFaults.Inc()
-	ppn, ok := k.src.AllocPage()
+	ppn, ok := k.allocPage()
 	if !ok {
 		k.oomEvents.Inc()
 		// Out of memory: reuse the zero page read-only; real kernels
@@ -442,6 +502,7 @@ func (k *Kernel) ResetStats() {
 	k.zeroCycles.Reset()
 	k.faultCycles.Reset()
 	k.oomEvents.Reset()
+	k.pagesRetired.Reset()
 }
 
 // StatsSet exposes kernel statistics.
@@ -455,5 +516,10 @@ func (k *Kernel) StatsSet() *stats.Set {
 	s.RegisterCounter("zero_cycles", &k.zeroCycles)
 	s.RegisterCounter("fault_cycles", &k.faultCycles)
 	s.RegisterCounter("oom_events", &k.oomEvents)
+	// Registered only when the fault/ECC machinery exists, so default
+	// (fault-free) runs print byte-identical statistics to the seed.
+	if k.mc.ECCEnabled() {
+		s.RegisterCounter("pages_retired", &k.pagesRetired)
+	}
 	return s
 }

@@ -44,7 +44,7 @@ func (k *Kernel) PersistentMmap(core int, p *Process, name string, npages int) (
 	vpn := base.Page()
 	var lat clock.Cycles
 	for i := 0; i < npages; i++ {
-		ppn, ok := k.src.AllocPage()
+		ppn, ok := k.allocPage()
 		if !ok {
 			k.oomEvents.Inc()
 			return 0, fmt.Errorf("kernel: out of memory for persistent region %q", name)

@@ -103,12 +103,38 @@ func DefaultConfig() Config {
 	}
 }
 
+// ReadOutcome describes what fault injection did to one delivered read:
+// how many of the delivered bits differ from the stored codeword, and
+// whether the stored codeword itself is torn (data/ECC inconsistent from
+// an incomplete write). The zero value means a clean read.
+type ReadOutcome struct {
+	BitErrors int
+	Torn      bool
+}
+
+// Injector is the device-side fault-injection hook (implemented by
+// internal/fault). FilterWrite is called before a data-storing write
+// commits: old is the block's current stored contents, src a scratch
+// copy of the bytes being written that the injector may mutate (torn
+// writes); returning false drops the write entirely (the old contents
+// remain). CorruptRead is called after a checked read delivered the
+// stored codeword into dst; the injector overlays faults in place and
+// reports the outcome.
+type Injector interface {
+	FilterWrite(a addr.Phys, wear uint64, old, src []byte) bool
+	CorruptRead(a addr.Phys, dst []byte) ReadOutcome
+}
+
 // Device is a simulated NVM DIMM population.
 type Device struct {
 	cfg   Config
 	pages map[addr.PageNum]*[addr.PageSize]byte
 	flip  map[addr.Phys]uint8 // FNW flip bit per 8-byte word, bit i = word i of block
 	wear  map[addr.Phys]uint64
+
+	inj       Injector           // nil = perfect device
+	writeHook func(a addr.Phys)  // crash scheduler; runs before any commit
+	scratch   [addr.BlockSize]byte
 
 	reads, writes, skippedWrites stats.Counter
 	bitsFlipped, bitsWritten     stats.Counter
@@ -140,6 +166,19 @@ func New(cfg Config) *Device {
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// SetInjector attaches (or, with nil, detaches) a fault injector. With no
+// injector the device is exactly the perfect device it always was.
+func (d *Device) SetInjector(inj Injector) { d.inj = inj }
+
+// Injector returns the attached fault injector (nil for a perfect device).
+func (d *Device) Injector() Injector { return d.inj }
+
+// SetWriteHook installs a function called at the top of every WriteBlock,
+// before any state is committed. The crash-anywhere harness uses it to
+// kill the machine at an exact persistent-write boundary: a hook that
+// panics guarantees the in-flight write never reached the device.
+func (d *Device) SetWriteHook(fn func(a addr.Phys)) { d.writeHook = fn }
 
 // Channel returns the channel servicing block address a (block-interleaved).
 func (d *Device) Channel(a addr.Phys) int {
@@ -195,6 +234,20 @@ func (d *Device) ReadBlock(a addr.Phys, dst []byte) clock.Cycles {
 	return d.cfg.ReadLatency + bankExtra
 }
 
+// ReadBlockChecked is ReadBlock plus fault delivery: after the stored
+// codeword is copied into dst, the attached injector (if any) overlays
+// stuck cells and transient flips, and the outcome reports the resulting
+// bit-error syndrome for the ECC layer. With no injector it is exactly
+// ReadBlock with a clean outcome.
+func (d *Device) ReadBlockChecked(a addr.Phys, dst []byte) (clock.Cycles, ReadOutcome) {
+	lat := d.ReadBlock(a, dst)
+	var oc ReadOutcome
+	if d.inj != nil && d.cfg.StoreData && dst != nil {
+		oc = d.inj.CorruptRead(a.Block(), dst)
+	}
+	return lat, oc
+}
+
 // Peek copies the current raw contents of the block at a into dst without
 // modeling an access (no latency, no statistics). It is how tests and the
 // attack-model harness inspect what an adversary scanning the DIMM would
@@ -220,6 +273,11 @@ func (d *Device) Peek(a addr.Phys, dst []byte) bool {
 // write may be elided; wear and bit-flip statistics are updated to match.
 func (d *Device) WriteBlock(a addr.Phys, src []byte) clock.Cycles {
 	a = a.Block()
+	if d.writeHook != nil {
+		// The crash scheduler runs before any commit: if it panics, this
+		// write never reached the cells.
+		d.writeHook(a)
+	}
 	bankExtra := d.bankDelay(a)
 	if !d.cfg.StoreData || src == nil {
 		// Timing-only mode: every write programs the full block.
@@ -234,6 +292,19 @@ func (d *Device) WriteBlock(a addr.Phys, src []byte) clock.Cycles {
 	}
 	off := a.PageOffset()
 	old := pg[off : off+addr.BlockSize]
+
+	if d.inj != nil {
+		// Fault filtering: the injector may drop the write (stale
+		// contents remain) or tear it (src mutated to a mix of old and
+		// new). The cells are pulsed either way — latency and wear are
+		// charged as for a full write.
+		copy(d.scratch[:], src[:addr.BlockSize])
+		if !d.inj.FilterWrite(a, d.wear[a], old, d.scratch[:]) {
+			d.accountWrite(a, 0, addr.BlockSize*8)
+			return d.cfg.WriteLatency + bankExtra
+		}
+		src = d.scratch[:]
+	}
 
 	switch d.cfg.WriteMode {
 	case DCW:

@@ -1,0 +1,120 @@
+package nvm
+
+// Persistent-state plumbing tests: snapshot/restore, the write hook the
+// crash scheduler hangs off, and the checked read path that delivers
+// fault syndromes to the ECC layer.
+
+import (
+	"bytes"
+	"testing"
+
+	"silentshredder/internal/addr"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	d := New(DefaultConfig())
+	a := addr.PageNum(3).BlockAddr(1)
+	data := bytes.Repeat([]byte{0x5A, 0x21}, addr.BlockSize/2)
+	d.WriteBlock(a, data)
+	d.WriteBlock(a, bytes.Repeat([]byte{0xFF}, addr.BlockSize)) // build wear
+	st := d.Snapshot()
+
+	// Snapshot shares no memory: mutate the device, the snapshot holds.
+	d.WriteBlock(a, make([]byte, addr.BlockSize))
+
+	d2 := New(DefaultConfig())
+	d2.Restore(st)
+	got := make([]byte, addr.BlockSize)
+	if !d2.Peek(a, got) || !bytes.Equal(got, bytes.Repeat([]byte{0xFF}, addr.BlockSize)) {
+		t.Fatal("restored contents wrong")
+	}
+	if d2.Wear(a) != d.Wear(a)-1 {
+		t.Fatalf("restored wear = %d, device wear = %d", d2.Wear(a), d.Wear(a))
+	}
+	if d2.MaxWear() != d2.Wear(a) {
+		t.Fatalf("MaxWear not rebuilt: %d vs %d", d2.MaxWear(), d2.Wear(a))
+	}
+
+	pages := 0
+	d2.ForEachPage(func(p addr.PageNum, pg *[addr.PageSize]byte) {
+		pages++
+		if p != a.Page() {
+			t.Fatalf("unexpected page %v", p)
+		}
+	})
+	if pages != 1 {
+		t.Fatalf("ForEachPage visited %d pages", pages)
+	}
+}
+
+func TestWriteHookFiresBeforeCommit(t *testing.T) {
+	d := New(DefaultConfig())
+	a := addr.PageNum(1).BlockAddr(0)
+	data := bytes.Repeat([]byte{0x77}, addr.BlockSize)
+
+	var seen []addr.Phys
+	d.SetWriteHook(func(h addr.Phys) { seen = append(seen, h) })
+	d.WriteBlock(a, data)
+	if len(seen) != 1 || seen[0] != a {
+		t.Fatalf("hook saw %v", seen)
+	}
+
+	// A panicking hook (the crash scheduler's cut) must fire before any
+	// state is committed: the in-flight write never reaches the cells.
+	d.SetWriteHook(func(addr.Phys) { panic("cut") })
+	func() {
+		defer func() { recover() }()
+		d.WriteBlock(a, make([]byte, addr.BlockSize))
+	}()
+	d.SetWriteHook(nil)
+	got := make([]byte, addr.BlockSize)
+	d.Peek(a, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("write cut by the hook still reached the device")
+	}
+}
+
+// checkedInjector flips the first delivered bit of every read.
+type checkedInjector struct{ calls int }
+
+func (c *checkedInjector) FilterWrite(addr.Phys, uint64, []byte, []byte) bool { return true }
+func (c *checkedInjector) CorruptRead(a addr.Phys, dst []byte) ReadOutcome {
+	c.calls++
+	dst[0] ^= 1
+	return ReadOutcome{BitErrors: 1}
+}
+
+func TestReadBlockCheckedDeliversSyndrome(t *testing.T) {
+	d := New(DefaultConfig())
+	a := addr.PageNum(2).BlockAddr(4)
+	data := bytes.Repeat([]byte{0x10}, addr.BlockSize)
+	d.WriteBlock(a, data)
+
+	// No injector: exactly ReadBlock with a clean outcome.
+	got := make([]byte, addr.BlockSize)
+	if _, oc := d.ReadBlockChecked(a, got); oc.BitErrors != 0 || oc.Torn {
+		t.Fatalf("clean device reported %+v", oc)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("clean checked read corrupted data")
+	}
+
+	inj := &checkedInjector{}
+	d.SetInjector(inj)
+	if d.Injector() == nil {
+		t.Fatal("Injector accessor lost the injector")
+	}
+	_, oc := d.ReadBlockChecked(a, got)
+	if oc.BitErrors != 1 || inj.calls != 1 {
+		t.Fatalf("outcome %+v, calls %d", oc, inj.calls)
+	}
+	if got[0] != data[0]^1 {
+		t.Fatal("delivered bits don't match the reported syndrome")
+	}
+	// The corruption is delivery-only: the stored codeword is intact.
+	d.SetInjector(nil)
+	d.Peek(a, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("injector corrupted the stored cells")
+	}
+}

@@ -1,0 +1,108 @@
+// Persistent-state projection: what MUST survive a crash, and what must
+// NOT.
+//
+// The architectural oracle (oracle.go) models the contents of memory as
+// the program sees them. After a power loss that projection splits in
+// two: dirty cached data may legitimately be lost, but a *completed*
+// shred is a security promise — once the kernel has cleared a page, no
+// byte of its prior contents may ever be observable again, no matter
+// where power was cut (paper §2.3's crash-consistency argument for why
+// shredding must act on persistent state).
+//
+// PersistTracker enforces the promise differentially: before each
+// shred-range op the harness snapshots the doomed pages; when the op
+// completes, every "fingerprintable" 64-byte block of the snapshot joins
+// a forbidden set; after crash + recovery the whole recovered image is
+// scanned — a hit means pre-shred plaintext resurfaced. Ops cut short by
+// the crash never commit their snapshot (a half-shredded page may
+// legitimately still hold old data in the untouched half).
+package oracle
+
+import "silentshredder/internal/addr"
+
+// FingerprintMinDistinct is the minimum number of distinct byte values a
+// 64-byte block must contain to serve as a leak fingerprint. Blocks below
+// the threshold (all-zeros, memset fills, two-value patterns) recur
+// legitimately all over memory and would make the scan meaningless.
+const FingerprintMinDistinct = 3
+
+// Fingerprintable reports whether block (64 bytes) is distinctive enough
+// to serve as a leak fingerprint.
+func Fingerprintable(block []byte) bool {
+	var seen [256]bool
+	distinct := 0
+	for _, b := range block {
+		if !seen[b] {
+			seen[b] = true
+			distinct++
+			if distinct >= FingerprintMinDistinct {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ShredToken holds the candidate fingerprints of one in-flight shred op.
+// It becomes binding only when CommitShred is called — i.e. when the op
+// ran to completion before the crash point.
+type ShredToken struct {
+	fps [][addr.BlockSize]byte
+}
+
+// PersistTracker accumulates the forbidden set of a crash-anywhere run.
+type PersistTracker struct {
+	forbidden map[[addr.BlockSize]byte]struct{}
+}
+
+// NewPersistTracker creates an empty tracker.
+func NewPersistTracker() *PersistTracker {
+	return &PersistTracker{forbidden: make(map[[addr.BlockSize]byte]struct{})}
+}
+
+// BeginShred snapshots the pages about to be shredded (one byte slice per
+// page, each a whole page image) and returns the candidate fingerprints.
+func (t *PersistTracker) BeginShred(pages [][]byte) ShredToken {
+	var tok ShredToken
+	for _, pg := range pages {
+		for off := 0; off+addr.BlockSize <= len(pg); off += addr.BlockSize {
+			blk := pg[off : off+addr.BlockSize]
+			if !Fingerprintable(blk) {
+				continue
+			}
+			var fp [addr.BlockSize]byte
+			copy(fp[:], blk)
+			tok.fps = append(tok.fps, fp)
+		}
+	}
+	return tok
+}
+
+// CommitShred marks the token's fingerprints forbidden: the shred op
+// completed, so these bytes must never be observable again.
+func (t *PersistTracker) CommitShred(tok ShredToken) {
+	for _, fp := range tok.fps {
+		t.forbidden[fp] = struct{}{}
+	}
+}
+
+// ForbiddenCount returns the size of the forbidden set.
+func (t *PersistTracker) ForbiddenCount() int { return len(t.forbidden) }
+
+// Leak scans data for any forbidden 64-byte block at block-aligned
+// offsets, returning the byte offset of the first hit or -1. The scan is
+// alignment-restricted deliberately: shredding operates on cache blocks,
+// so a resurfaced block reappears block-aligned.
+func (t *PersistTracker) Leak(data []byte) int {
+	if len(t.forbidden) == 0 {
+		return -1
+	}
+	var fp [addr.BlockSize]byte
+	for off := 0; off+addr.BlockSize <= len(data); off += addr.BlockSize {
+		copy(fp[:], data[off:off+addr.BlockSize])
+		if _, bad := t.forbidden[fp]; bad {
+			return off
+		}
+	}
+	return -1
+}

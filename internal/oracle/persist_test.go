@@ -1,0 +1,83 @@
+package oracle
+
+import (
+	"bytes"
+	"testing"
+
+	"silentshredder/internal/addr"
+)
+
+func fingerprintablePage(fill byte) []byte {
+	p := make([]byte, addr.PageSize)
+	for i := range p {
+		// Period 251 is coprime to the 64-byte block size, so every block
+		// of the page carries a distinct, >=3-distinct-value pattern.
+		p[i] = fill + byte(i%251)
+	}
+	return p
+}
+
+func TestFingerprintable(t *testing.T) {
+	if Fingerprintable(make([]byte, addr.BlockSize)) {
+		t.Error("all-zero block must not be fingerprintable")
+	}
+	two := bytes.Repeat([]byte{0xAB, 0xCD}, addr.BlockSize/2)
+	if Fingerprintable(two) {
+		t.Error("two-value block is too low-entropy to fingerprint")
+	}
+	three := bytes.Repeat([]byte{1, 2, 3, 3}, addr.BlockSize/4)
+	if !Fingerprintable(three) {
+		t.Error("three-value block must be fingerprintable")
+	}
+}
+
+func TestPersistTrackerForbidsCommittedShreds(t *testing.T) {
+	tr := NewPersistTracker()
+	page := fingerprintablePage(0x10)
+	tok := tr.BeginShred([][]byte{page})
+	if tr.ForbiddenCount() != 0 {
+		t.Fatal("fingerprints forbidden before the shred committed")
+	}
+	tr.CommitShred(tok)
+	if tr.ForbiddenCount() != addr.BlocksPerPage {
+		t.Fatalf("ForbiddenCount = %d, want %d", tr.ForbiddenCount(), addr.BlocksPerPage)
+	}
+
+	// A recovered image containing any forbidden block leaks.
+	img := make([]byte, addr.PageSize)
+	copy(img[addr.PageSize/2:], page[:addr.BlockSize])
+	if off := tr.Leak(img); off != addr.PageSize/2 {
+		t.Fatalf("Leak = %d, want %d", off, addr.PageSize/2)
+	}
+	// Clean images pass; so do zeros.
+	if off := tr.Leak(make([]byte, addr.PageSize)); off >= 0 {
+		t.Fatalf("zero image flagged at %d", off)
+	}
+	// Unrelated data: a stride-3 pattern can never equal a block-aligned
+	// shift of the stride-1 shredded pattern.
+	other := make([]byte, addr.PageSize)
+	for i := range other {
+		other[i] = byte((i * 3) % 251)
+	}
+	if off := tr.Leak(other); off >= 0 {
+		t.Fatalf("unrelated image flagged at %d", off)
+	}
+}
+
+func TestPersistTrackerUncommittedShredNotForbidden(t *testing.T) {
+	tr := NewPersistTracker()
+	page := fingerprintablePage(0x40)
+	_ = tr.BeginShred([][]byte{page}) // never committed: the crash cut the op
+	if off := tr.Leak(page); off >= 0 {
+		t.Fatal("in-flight shred's data must be allowed to survive")
+	}
+}
+
+func TestPersistTrackerSkipsLowEntropyBlocks(t *testing.T) {
+	tr := NewPersistTracker()
+	page := make([]byte, addr.PageSize) // all zeros: nothing fingerprintable
+	tr.CommitShred(tr.BeginShred([][]byte{page}))
+	if tr.ForbiddenCount() != 0 {
+		t.Fatalf("ForbiddenCount = %d for an all-zero page", tr.ForbiddenCount())
+	}
+}

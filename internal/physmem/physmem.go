@@ -11,6 +11,7 @@ package physmem
 
 import (
 	"encoding/binary"
+	"sort"
 
 	"silentshredder/internal/addr"
 )
@@ -137,6 +138,20 @@ func (m *Image) Restore(pages map[addr.PageNum][]byte) {
 		pg := new([addr.PageSize]byte)
 		copy(pg[:], data)
 		m.pages[p] = pg
+	}
+}
+
+// ForEachPage calls fn for every materialized page in ascending page
+// order (deterministic for scanning and reporting). The crash-recovery
+// leak scan walks the recovered image this way.
+func (m *Image) ForEachPage(fn func(p addr.PageNum, data *[addr.PageSize]byte)) {
+	ps := make([]addr.PageNum, 0, len(m.pages))
+	for p := range m.pages {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	for _, p := range ps {
+		fn(p, m.pages[p])
 	}
 }
 

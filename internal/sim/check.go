@@ -49,6 +49,9 @@ const DefaultCheckEvery = 4096
 // validateCheckConfig rejects configurations whose architectural contract
 // the oracle cannot express.
 func validateCheckConfig(cfg Config) error {
+	if cfg.Faults.Enabled() {
+		return fmt.Errorf("sim: CheckOracle is incompatible with fault injection (lost lines legitimately diverge from the architectural oracle; use the crash/recovery harness instead)")
+	}
 	if cfg.ZeroMode == kernel.ZeroNone {
 		return fmt.Errorf("sim: CheckOracle requires a shredding kernel (ZeroNone deliberately leaks reused pages)")
 	}

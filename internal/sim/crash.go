@@ -1,0 +1,213 @@
+// Crash-anywhere harness: kill the machine at an arbitrary device-write
+// index, recover, and validate the persistent-state projection.
+//
+// Power can fail between any two NVM writes — including in the middle of
+// a multi-write operation like a non-temporal page zero, a page
+// re-encryption, or a write-through shred's counter update burst. The
+// harness models that exactly: the device's write hook fires immediately
+// before each write commits, and the scheduled crash point panics with a
+// sentinel that unwinds the whole in-flight operation (nothing past the
+// cut ever reaches the device, just like a real power cut). The machine
+// then goes through the ordinary Crash()+RecoverImage() reboot and the
+// recovered image is validated:
+//
+//   - no pre-shred byte may resurface: every fingerprintable block of
+//     every page cleared by a *completed* shred-range op is forbidden in
+//     the recovered image (skipped for temporal zeroing, which the paper's
+//     §2.3 shows is genuinely not crash-safe — the zeros die in cache);
+//   - shredded blocks read zero: any block whose persisted minor counter
+//     is the reserved shredded value must be all-zeros in the recovered
+//     image (Silent Shredder with the reserve-zero encoding);
+//   - the counter region stays self-consistent: recovery itself panics on
+//     integrity-tree mismatches, so simply completing is part of the
+//     contract.
+package sim
+
+import (
+	"fmt"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/apprt"
+	"silentshredder/internal/ctr"
+	"silentshredder/internal/kernel"
+	"silentshredder/internal/memctrl"
+	"silentshredder/internal/oracle"
+	"silentshredder/internal/wearlevel"
+)
+
+// crashPoint is the panic sentinel thrown by the armed write hook. It
+// unwinds whatever operation was in flight; RunToCrash absorbs it.
+type crashPoint struct{ write uint64 }
+
+// ScheduleCrashAtWrite arms the machine to lose power immediately before
+// its nth device write (0-based) commits. Write n and everything after it
+// never reach the NVM.
+func (m *Machine) ScheduleCrashAtWrite(n uint64) {
+	seen := uint64(0)
+	m.Dev.SetWriteHook(func(a addr.Phys) {
+		if seen == n {
+			panic(crashPoint{write: n})
+		}
+		seen++
+	})
+}
+
+// DisarmCrash removes any scheduled crash point.
+func (m *Machine) DisarmCrash() { m.Dev.SetWriteHook(nil) }
+
+// RunToCrash executes fn, absorbing a scheduled crash. It reports whether
+// the machine crashed (fn was cut short mid-operation). Other panics
+// propagate unchanged. After a crash the caller models the reboot with
+// Machine.Crash().
+func (m *Machine) RunToCrash(fn func()) (crashed bool) {
+	defer func() {
+		m.DisarmCrash()
+		if r := recover(); r != nil {
+			if _, ok := r.(crashPoint); ok {
+				crashed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return false
+}
+
+// CrashOutcome summarizes one crash-anywhere run.
+type CrashOutcome struct {
+	Crashed   bool // false: the workload finished before the crash point
+	OpIndex   int  // op during which power was lost (len(ops) if none)
+	Forbidden int  // fingerprints that must not resurface
+	Writes    uint64
+}
+
+// ReplayToCrash builds a fresh machine from cfg, replays w with a crash
+// scheduled at device-write index writeIdx, reboots (Crash + recovery)
+// and validates the persistent-state projection. Passing a writeIdx
+// beyond the workload's total write count exercises the
+// crash-at-quiescence point (the workload completes, then power fails).
+// The machine is returned post-recovery for further inspection.
+func ReplayToCrash(cfg Config, w oracle.Workload, writeIdx uint64) (*Machine, CrashOutcome, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return nil, CrashOutcome{}, err
+	}
+	rt := m.Runtime(0)
+	tr := oracle.NewPersistTracker()
+	out := CrashOutcome{OpIndex: len(w.Ops)}
+
+	var replayErr error
+	m.ScheduleCrashAtWrite(writeIdx)
+	out.Crashed = m.RunToCrash(func() {
+		for i, op := range w.Ops {
+			out.OpIndex = i
+			if op.Kind == apprt.TraceShredRange {
+				tok := tr.BeginShred(shredSnapshot(m, rt.Process(), op))
+				if replayErr = rt.Apply(op); replayErr != nil {
+					return
+				}
+				tr.CommitShred(tok)
+			} else if replayErr = rt.Apply(op); replayErr != nil {
+				return
+			}
+		}
+		out.OpIndex = len(w.Ops)
+	})
+	if replayErr != nil {
+		return m, out, fmt.Errorf("sim: crash replay op %d: %w", out.OpIndex, replayErr)
+	}
+	out.Forbidden = tr.ForbiddenCount()
+	out.Writes = m.Dev.Writes()
+
+	// The reboot: lose volatile state, recover the persistent image. Run
+	// it even when the workload completed — power failing at quiescence is
+	// the last crash point of the schedule.
+	m.Crash()
+
+	if err := m.CheckPersistentProjection(tr); err != nil {
+		return m, out, fmt.Errorf("sim: crash at write %d (op %d): %w", writeIdx, out.OpIndex, err)
+	}
+	return m, out, nil
+}
+
+// shredSnapshot captures the architectural contents of every page a
+// shred-range op is about to clear (only mapped writable pages are
+// actually cleared). Purely functional: no cache or device state is
+// perturbed, so the crash schedule is identical with or without tracking.
+func shredSnapshot(m *Machine, p *kernel.Process, op apprt.TraceOp) [][]byte {
+	vpn := op.VA.Page()
+	var pages [][]byte
+	for i := 0; i < int(op.Arg); i++ {
+		pte, ok := p.AS.Lookup(vpn + addr.VPageNum(i))
+		if !ok || !pte.Writable {
+			continue
+		}
+		buf := make([]byte, addr.PageSize)
+		m.Img.Read(pte.PPN.Addr(), buf)
+		pages = append(pages, buf)
+	}
+	return pages
+}
+
+// CrashSafeShred reports whether cfg's clearing strategy persists its
+// effect by the time the op completes — the precondition for the
+// no-resurface check. Temporal zeroing is the documented exception
+// (paper §2.3): its zeros sit dirty in cache and die with the power.
+// Silent Shredder's shred is crash-safe exactly when its counter updates
+// are (write-through, or write-back with a battery).
+func CrashSafeShred(cfg Config) bool {
+	switch cfg.ZeroMode {
+	case kernel.ZeroNonTemporal:
+		return true // encrypted zeros go straight to NVM
+	case kernel.ZeroShred:
+		cc := cfg.MemCtrl.CounterCache
+		return cc.WriteThrough || cc.BatteryBacked
+	default:
+		return false
+	}
+}
+
+// CheckPersistentProjection validates the recovered image against the
+// tracker's forbidden set and the counter-encoded zero contract. Call
+// after Crash().
+func (m *Machine) CheckPersistentProjection(tr *oracle.PersistTracker) error {
+	// 1. No pre-shred byte resurfaces (when the strategy promises it).
+	if CrashSafeShred(m.Cfg) {
+		var leakErr error
+		m.Img.ForEachPage(func(p addr.PageNum, data *[addr.PageSize]byte) {
+			if leakErr != nil {
+				return
+			}
+			if off := tr.Leak(data[:]); off >= 0 {
+				leakErr = fmt.Errorf("pre-shred plaintext resurfaced at %v+%#x after recovery", p, off)
+			}
+		})
+		if leakErr != nil {
+			return leakErr
+		}
+	}
+	// 2. Shredded blocks read zero (reserve-zero encoding).
+	if m.Cfg.Mode == memctrl.SilentShredder && m.Cfg.MemCtrl.Shred == memctrl.OptionReserveZero {
+		var zeroErr error
+		m.MC.CounterCache().ForEachPersisted(func(p addr.PageNum, cb ctr.CounterBlock) {
+			if zeroErr != nil || p.Addr() >= wearlevel.SpareBase {
+				return
+			}
+			for i := 0; i < addr.BlocksPerPage; i++ {
+				if cb.Minor[i] != ctr.MinorShredded {
+					continue
+				}
+				blk := m.Img.ReadBlock(p.BlockAddr(i))
+				if blk != ([addr.BlockSize]byte{}) {
+					zeroErr = fmt.Errorf("shredded block %v[%d] nonzero after recovery", p, i)
+					return
+				}
+			}
+		})
+		if zeroErr != nil {
+			return zeroErr
+		}
+	}
+	return nil
+}

@@ -10,12 +10,14 @@ import (
 	"silentshredder/internal/apprt"
 	"silentshredder/internal/cache"
 	"silentshredder/internal/cpu"
+	"silentshredder/internal/fault"
 	"silentshredder/internal/hier"
 	"silentshredder/internal/kernel"
 	"silentshredder/internal/memctrl"
 	"silentshredder/internal/nvm"
 	"silentshredder/internal/physmem"
 	"silentshredder/internal/stats"
+	"silentshredder/internal/wearlevel"
 )
 
 // Config assembles the per-component configurations.
@@ -47,6 +49,15 @@ type Config struct {
 	// CheckEvery is the invariant-sweep period in observed runtime
 	// operations (0 = DefaultCheckEvery).
 	CheckEvery int
+
+	// Faults configures the deterministic fault injector (zero value =
+	// perfect device, the byte-identical default). Enabling faults
+	// requires StoreData (corruption acts on stored bytes), switches the
+	// controller's ECC/retirement layer on, and turns VerifyPlaintext
+	// off — a dropped write *legitimately* diverges ciphertext from the
+	// architectural image, which is exactly the event ECC exists to
+	// handle, not a simulator bug.
+	Faults fault.Config
 }
 
 // Table1Config returns the paper's full Table 1 machine: 8 cores at 2GHz,
@@ -102,6 +113,10 @@ type Machine struct {
 	Kernel *kernel.Kernel
 	Source *kernel.LinearSource
 
+	// Injector is the fault injector when Cfg.Faults is enabled, nil
+	// otherwise.
+	Injector *fault.Injector
+
 	checker *Checker
 }
 
@@ -113,6 +128,15 @@ func New(cfg Config) (*Machine, error) {
 			return nil, err
 		}
 	}
+	if cfg.Faults.Enabled() {
+		// Faults corrupt stored bytes, so the functional data path must
+		// exist; ECC must be on to catch them; and the plaintext
+		// cross-check must be off (dropped writes legitimately desync
+		// ciphertext from the architectural image).
+		cfg.StoreData = true
+		cfg.MemCtrl.ECC = true
+		cfg.VerifyPlaintext = false
+	}
 	cfg.NVM.StoreData = cfg.StoreData
 	cfg.MemCtrl.Mode = cfg.Mode
 	cfg.MemCtrl.VerifyPlaintext = cfg.VerifyPlaintext && cfg.StoreData
@@ -120,6 +144,15 @@ func New(cfg Config) (*Machine, error) {
 
 	img := physmem.New(cfg.StoreData)
 	dev := nvm.New(cfg.NVM)
+	var inj *fault.Injector
+	if cfg.Faults.Enabled() {
+		inj = fault.New(cfg.Faults)
+		// The controller write-verifies its metadata regions (counters
+		// and spare lines): drops and tears are repaired on the spot
+		// there, so the injector never surfaces them.
+		inj.SetWriteProtect(wearlevel.SpareBase)
+		dev.SetInjector(inj)
+	}
 	mc, err := memctrl.New(cfg.MemCtrl, dev, img)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -130,14 +163,19 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	if inj != nil {
+		// Pages that lose too many lines are surrendered to the kernel.
+		mc.SetFaultSink(k)
+	}
 	m := &Machine{
-		Cfg:    cfg,
-		Img:    img,
-		Dev:    dev,
-		MC:     mc,
-		Hier:   h,
-		Kernel: k,
-		Source: src,
+		Cfg:      cfg,
+		Img:      img,
+		Dev:      dev,
+		MC:       mc,
+		Hier:     h,
+		Kernel:   k,
+		Source:   src,
+		Injector: inj,
 	}
 	for i := 0; i < cfg.Hier.Cores; i++ {
 		m.Cores = append(m.Cores, cpu.New(i))
@@ -225,6 +263,9 @@ func (m *Machine) ResetStats() {
 	m.Hier.ResetStats()
 	m.MC.ResetStats()
 	m.Kernel.ResetStats()
+	if m.Injector != nil {
+		m.Injector.ResetStats()
+	}
 }
 
 // Snapshot captures every component's statistics as plain values that are
@@ -244,6 +285,9 @@ func (m *Machine) Registry() *stats.Registry {
 	r.Register(m.MC.CounterCache().StatsSet())
 	r.Register(m.Dev.StatsSet("nvm"))
 	r.Register(m.Kernel.StatsSet())
+	if m.Injector != nil {
+		r.Register(m.Injector.StatsSet("faults"))
+	}
 	for i := 0; i < m.Cfg.Hier.Cores; i++ {
 		r.Register(m.Kernel.TLB(i).StatsSet(fmt.Sprintf("tlb%d", i)))
 	}

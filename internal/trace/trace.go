@@ -130,34 +130,10 @@ func ReadAll(r io.Reader) ([]apprt.TraceOp, error) {
 
 // Replay executes one record against a runtime. Memset records carry the
 // value and temporal/NT choice packed in Arg (size<<9 | nt<<8 | value).
+// The dispatch lives on the runtime itself (apprt.Runtime.Apply) so that
+// packages which cannot import trace — the sim crash harness — share it.
 func Replay(rt *apprt.Runtime, op apprt.TraceOp) error {
-	switch op.Kind {
-	case apprt.TraceLoad:
-		rt.Load(op.VA)
-	case apprt.TraceStore:
-		rt.Store(op.VA, op.Arg)
-	case apprt.TraceCompute:
-		rt.Compute(op.Arg)
-	case apprt.TraceMalloc:
-		base := rt.Malloc(int(op.Arg))
-		if base != op.VA {
-			return fmt.Errorf("trace: replay allocated %v, trace expects %v (machine layout differs)", base, op.VA)
-		}
-	case apprt.TraceFree:
-		rt.Free(op.VA, int(op.Arg))
-	case apprt.TraceMemset:
-		size := int(op.Arg >> 9)
-		if op.Arg>>8&1 == 1 {
-			rt.MemsetNT(op.VA, byte(op.Arg), size)
-		} else {
-			rt.Memset(op.VA, byte(op.Arg), size)
-		}
-	case apprt.TraceShredRange:
-		rt.ShredRange(op.VA, int(op.Arg))
-	default:
-		return fmt.Errorf("trace: unknown record kind %d", op.Kind)
-	}
-	return nil
+	return rt.Apply(op)
 }
 
 // ReplayAll replays every record from r against rt, returning the number
