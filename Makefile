@@ -3,15 +3,19 @@
 
 GO ?= go
 
-.PHONY: all build test vet race faults fuzz cover bench quick-experiments experiments examples clean
+.PHONY: all build test vet race faults obs fuzz cover bench quick-experiments experiments examples clean
 
 all: build vet test race
 
 build:
 	$(GO) build ./...
 
+# Static gate: go vet plus the gofmt check — the tree must be gofmt-clean
+# (gofmt -l prints offending files; any output fails the target).
 vet:
 	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -23,7 +27,7 @@ test:
 # oracle-checked short workload sweeps (exper.TestCheckedWorkloadSweeps
 # and the sim/oracle differential tests), so every merge re-validates the
 # architectural contract under -race.
-race: faults
+race: vet faults obs
 	$(GO) test -race ./...
 
 # Robustness gate, folded into tier-1 `race`: the fault-injection and
@@ -34,6 +38,20 @@ faults:
 	$(GO) test -race ./internal/fault ./internal/sim ./internal/memctrl
 	$(GO) run -race ./cmd/experiments -quick -cores 2 faults crash
 	$(GO) run -race ./cmd/leakscan -crash 8 -seed 42
+
+# Observability gate, folded into tier-1 `race`: the event-bus, epoch,
+# and CLI-glue packages (golden trace/epoch exporter tests, the
+# zero-allocation disabled path, parallel-sweep artifact determinism),
+# then the obs-off byte-identity check — default CLI output must match
+# the committed goldens exactly, proving the layer costs nothing when
+# disabled. Regenerate goldens after an intentional output change with
+# the same two commands redirected into testdata/golden/.
+obs:
+	$(GO) test ./internal/obs ./internal/stats ./internal/obscli ./internal/exper
+	$(GO) run ./cmd/shredsim -quick -scale 64 -cores 2 -parallel 2 -workload pagerank,mcf \
+		| diff -u testdata/golden/shredsim_quick.txt -
+	$(GO) run ./cmd/experiments -quick -cores 2 -scale 64 -parallel 2 table2 fig5 2>/dev/null \
+		| diff -u testdata/golden/experiments_quick.txt -
 
 # Bounded fuzzing pass over the fuzz targets (seed corpora are committed
 # under testdata/fuzz). FUZZTIME bounds each target's run.

@@ -8,7 +8,7 @@
 //
 // Experiments: table1 table2 fig4 fig5 fig8 fig9 fig10 fig11 fig12
 // ablation-iv ablation-dcw ablation-deuce ablation-wt ablation-merkle
-// faults crash energy export summary all
+// faults crash energy export summary timeseries all
 package main
 
 import (
@@ -19,6 +19,10 @@ import (
 	"strings"
 
 	"silentshredder/internal/exper"
+	"silentshredder/internal/kernel"
+	"silentshredder/internal/memctrl"
+	"silentshredder/internal/obs"
+	"silentshredder/internal/obscli"
 	"silentshredder/internal/stats"
 )
 
@@ -35,6 +39,11 @@ func main() {
 	flag.StringVar(&workloads, "workloads", "", "comma-separated subset for fig8-fig11 (default: all 29)")
 	var format string
 	flag.StringVar(&format, "format", "text", "output for the comparison data: text | csv | json")
+	obsPhase := flag.Bool("obs-phase", false, "print host wall-time phase/run timings to stderr after the sweeps")
+	var obsFlags obscli.Flags
+	obsFlags.Register(flag.CommandLine)
+	var profCfg obs.ProfileConfig
+	profCfg.RegisterFlags(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
 
@@ -42,6 +51,20 @@ func main() {
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
+	}
+
+	stopProf, err := profCfg.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProf()
+	if *obsPhase {
+		o.Profile = exper.NewSweepProfile()
+		defer func() {
+			o.Profile.Finish()
+			fmt.Fprint(os.Stderr, o.Profile.Report())
+		}()
 	}
 
 	names := splitList(workloads)
@@ -58,7 +81,13 @@ func main() {
 	}
 
 	for _, cmd := range args {
+		o.Profile.StartPhase(cmd) // nil-safe: no-op without -obs-phase
 		switch cmd {
+		case "timeseries":
+			if err := runTimeseries(o, names, &obsFlags); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
 		case "table1":
 			fmt.Println(exper.Table1(o))
 		case "table2":
@@ -155,6 +184,46 @@ func main() {
 	}
 }
 
+// runTimeseries is the time-resolved observability recipe: run each
+// workload (default pagerank) under Silent Shredder with the epoch
+// sampler (and the event bus when -obs-trace is set), then export the
+// merged epoch series / Chrome trace. The sweep is fanned out like every
+// other experiment; captures merge in workload order, so output is
+// byte-identical for any -parallel.
+func runTimeseries(o exper.Options, names []string, f *obscli.Flags) error {
+	if len(names) == 0 {
+		names = []string{"pagerank"}
+	}
+	if f.Epoch == 0 {
+		f.Epoch = 1 << 20 // ~0.5ms of machine time per epoch
+	}
+	type out struct {
+		cap obscli.Capture
+		err error
+	}
+	parallel := o.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	outs := exper.RunIndexed(parallel, len(names), exper.ProfiledJob(o.Profile, func(i int) out {
+		bus := f.NewBus()
+		m, err := exper.RunWorkloadTweaked(o, names[i], memctrl.SilentShredder, kernel.ZeroShred,
+			exper.MachineTweaks{Bus: bus, EpochEvery: f.Epoch})
+		if err != nil {
+			return out{err: err}
+		}
+		return out{cap: f.Capture(names[i], bus, m)}
+	}))
+	caps := make([]obscli.Capture, len(outs))
+	for i, r := range outs {
+		if r.err != nil {
+			return r.err
+		}
+		caps[i] = r.cap
+	}
+	return f.Write(caps)
+}
+
 func printSummary(results []exper.Result) {
 	var ws, rs, sp, ipc []float64
 	for _, r := range results {
@@ -220,6 +289,9 @@ experiments:
   energy           NVM energy savings (the paper's power-reduction claim)
   export           comparison data as text/csv/json (see -format)
   summary          averages vs the paper's headline numbers
+  timeseries       time-resolved shred/zero-fill/counter-cache series
+                   (-obs-epoch interval, -obs-epoch-out CSV/JSON,
+                   -obs-trace Chrome trace; workloads from -workloads)
   all              everything above
 
 flags:

@@ -9,6 +9,7 @@
 //
 //	leakscan -image dimm.img -pattern "BEGIN RSA PRIVATE KEY"
 //	leakscan -image dimm.img -entropy   # per-page byte-entropy summary
+//	leakscan -image dimm.img -pattern secret -format json  # machine-readable
 //
 // With -crash N the tool scans post-crash recovered images instead of a
 // checkpoint: it replays a seeded workload on a crash-safe Silent
@@ -18,10 +19,14 @@
 // gone. Any hit is a leak and exits nonzero.
 //
 //	leakscan -crash 16 -seed 42
+//
+// -format json replaces the human narration with one JSON findings
+// report on stdout (same exit codes), for CI and downstream tooling.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -31,6 +36,7 @@ import (
 	"silentshredder/internal/addr"
 	"silentshredder/internal/kernel"
 	"silentshredder/internal/memctrl"
+	"silentshredder/internal/obs"
 	"silentshredder/internal/oracle"
 	"silentshredder/internal/sim"
 )
@@ -43,18 +49,53 @@ func main() {
 		scale   = flag.Int("scale", 64, "cache scale of the machine the image is loaded into")
 		crash   = flag.Int("crash", 0, "scan post-crash recovered images: power-cut a seeded workload at this many write indices")
 		seed    = flag.Int64("seed", 42, "workload seed for -crash")
+		format  = flag.String("format", "text", "findings report: text | json")
 	)
+	var profCfg obs.ProfileConfig
+	profCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	switch *format {
+	case "text", "json":
+	default:
+		fatal(fmt.Sprintf("unknown format %q (want text or json)", *format))
+	}
+	stopProf, perr := profCfg.Start()
+	if perr != nil {
+		fatal(perr.Error())
+	}
+	defer stopProf()
+
 	if *crash > 0 {
-		crashScan(*scale, *seed, *crash)
+		crashScan(*scale, *seed, *crash, *format)
 		return
 	}
 	if *image == "" || (*pattern == "" && !*entropy) {
 		flag.Usage()
 		os.Exit(2)
 	}
+	imageScan(*image, *pattern, *entropy, *scale, *format)
+}
 
-	f, err := os.Open(*image)
+// entropyPage is one page's byte-entropy finding.
+type entropyPage struct {
+	Page        uint64  `json:"page"`
+	BitsPerByte float64 `json:"bits_per_byte"`
+}
+
+// imageReport is the machine-readable result of an image scan.
+type imageReport struct {
+	Image        string        `json:"image"`
+	Pattern      string        `json:"pattern,omitempty"`
+	PagesScanned int           `json:"pages_scanned"`
+	LeakPages    []uint64      `json:"leak_pages"`
+	Clean        bool          `json:"clean"`
+	Lowest       []entropyPage `json:"lowest_entropy_pages,omitempty"`
+	Highest      *entropyPage  `json:"highest_entropy_page,omitempty"`
+}
+
+func imageScan(image, pattern string, entropy bool, scale int, format string) {
+	f, err := os.Open(image)
 	if err != nil {
 		fatal(err.Error())
 	}
@@ -63,7 +104,7 @@ func main() {
 	// Load the image into a machine shell: leakscan only inspects the
 	// device contents, never the decrypting datapath — the adversary has
 	// the DIMM, not the processor.
-	cfg := sim.ScaledConfig(memctrl.SilentShredder, kernel.ZeroShred, *scale)
+	cfg := sim.ScaledConfig(memctrl.SilentShredder, kernel.ZeroShred, scale)
 	cfg.Hier.Cores = 1
 	m, err := sim.New(cfg)
 	if err != nil {
@@ -73,44 +114,80 @@ func main() {
 		fatal(err.Error())
 	}
 
-	pages := 0
-	hits := 0
-	type pageEnt struct {
-		page addr.PageNum
-		ent  float64
-	}
-	var ents []pageEnt
+	rep := imageReport{Image: image, Pattern: pattern, LeakPages: []uint64{}}
+	var ents []entropyPage
 	m.Dev.ForEachPage(func(p addr.PageNum, data *[addr.PageSize]byte) {
-		pages++
-		if *pattern != "" && bytes.Contains(data[:], []byte(*pattern)) {
-			hits++
-			fmt.Printf("LEAK: pattern found in page %v\n", p)
+		rep.PagesScanned++
+		if pattern != "" && bytes.Contains(data[:], []byte(pattern)) {
+			rep.LeakPages = append(rep.LeakPages, uint64(p))
+			if format == "text" {
+				fmt.Printf("LEAK: pattern found in page %v\n", p)
+			}
 		}
-		if *entropy {
-			ents = append(ents, pageEnt{p, byteEntropy(data[:])})
+		if entropy {
+			ents = append(ents, entropyPage{uint64(p), byteEntropy(data[:])})
 		}
 	})
+	rep.Clean = len(rep.LeakPages) == 0
+	if entropy {
+		sort.Slice(ents, func(i, j int) bool { return ents[i].BitsPerByte < ents[j].BitsPerByte })
+		for i := 0; i < len(ents) && i < 8; i++ {
+			rep.Lowest = append(rep.Lowest, ents[i])
+		}
+		if n := len(ents); n > 0 {
+			rep.Highest = &ents[n-1]
+		}
+	}
 
-	fmt.Printf("scanned %d resident pages\n", pages)
-	if *pattern != "" {
-		if hits == 0 {
-			fmt.Printf("pattern %q not found: the DIMM holds no such plaintext\n", *pattern)
+	if format == "json" {
+		writeJSON(rep)
+		if !rep.Clean {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("scanned %d resident pages\n", rep.PagesScanned)
+	if pattern != "" {
+		if rep.Clean {
+			fmt.Printf("pattern %q not found: the DIMM holds no such plaintext\n", pattern)
 		} else {
-			fmt.Printf("%d page(s) leak the pattern\n", hits)
+			fmt.Printf("%d page(s) leak the pattern\n", len(rep.LeakPages))
 			os.Exit(1)
 		}
 	}
-	if *entropy {
-		sort.Slice(ents, func(i, j int) bool { return ents[i].ent < ents[j].ent })
+	if entropy {
 		fmt.Println("\nlowest-entropy pages (plaintext and zeroed pages rank lowest):")
-		for i := 0; i < len(ents) && i < 8; i++ {
-			fmt.Printf("  %v  %.3f bits/byte\n", ents[i].page, ents[i].ent)
+		for _, e := range rep.Lowest {
+			fmt.Printf("  %v  %.3f bits/byte\n", addr.PageNum(e.Page), e.BitsPerByte)
 		}
-		if n := len(ents); n > 0 {
+		if rep.Highest != nil {
 			fmt.Printf("highest: %v  %.3f bits/byte (ciphertext approaches 8.0)\n",
-				ents[n-1].page, ents[n-1].ent)
+				addr.PageNum(rep.Highest.Page), rep.Highest.BitsPerByte)
 		}
 	}
+}
+
+// crashCut is one crash point's finding.
+type crashCut struct {
+	Label        string `json:"label"`
+	WriteIndex   uint64 `json:"write_index"`
+	Quiescence   bool   `json:"quiescence,omitempty"`
+	Crashed      bool   `json:"crashed"`
+	PagesScanned int    `json:"pages_scanned"`
+	Leak         bool   `json:"leak"`
+	Error        string `json:"error,omitempty"`
+}
+
+// crashReport is the machine-readable result of a -crash sweep.
+type crashReport struct {
+	Seed         int64      `json:"seed"`
+	Points       int        `json:"points"`
+	DeviceWrites uint64     `json:"device_writes"`
+	Forbidden    int        `json:"forbidden_fingerprints"`
+	Cuts         []crashCut `json:"cuts"`
+	Leaks        int        `json:"leaks"`
+	Clean        bool       `json:"clean"`
 }
 
 // crashScan is the post-crash forensics mode: replay a seeded workload on
@@ -120,7 +197,7 @@ func main() {
 // image for pre-shred plaintext. The scan itself is the persistent-state
 // projection check: every fingerprintable 64-byte block of every page a
 // completed shred cleared is forbidden to resurface.
-func crashScan(scale int, seed int64, points int) {
+func crashScan(scale int, seed int64, points int, format string) {
 	w := oracle.Generate(oracle.DefaultGenConfig(seed))
 	cfg := sim.ScaledConfig(memctrl.SilentShredder, kernel.ZeroShred, scale)
 	cfg.Hier.Cores = 2
@@ -133,10 +210,12 @@ func crashScan(scale int, seed int64, points int) {
 	if err != nil {
 		fatal(err.Error())
 	}
-	fmt.Printf("workload seed %d: %d device writes, %d forbidden pre-shred fingerprints\n",
-		seed, base.Writes, base.Forbidden)
+	rep := crashReport{Seed: seed, Points: points, DeviceWrites: base.Writes, Forbidden: base.Forbidden}
+	if format == "text" {
+		fmt.Printf("workload seed %d: %d device writes, %d forbidden pre-shred fingerprints\n",
+			seed, base.Writes, base.Forbidden)
+	}
 
-	leaks := 0
 	for i := 0; i <= points; i++ {
 		idx := ^uint64(0)
 		label := "quiescence"
@@ -144,25 +223,52 @@ func crashScan(scale int, seed int64, points int) {
 			idx = uint64(i) * base.Writes / uint64(points)
 			label = fmt.Sprintf("write %d", idx)
 		}
+		cut := crashCut{Label: label, WriteIndex: idx, Quiescence: i == points}
 		m, out, err := sim.ReplayToCrash(cfg, w, idx)
 		if err != nil {
-			leaks++
-			fmt.Printf("LEAK at %s (op %d): %v\n", label, out.OpIndex, err)
+			cut.Leak = true
+			cut.Error = err.Error()
+			rep.Leaks++
+			rep.Cuts = append(rep.Cuts, cut)
+			if format == "text" {
+				fmt.Printf("LEAK at %s (op %d): %v\n", label, out.OpIndex, err)
+			}
 			continue
 		}
-		pages := 0
-		m.Img.ForEachPage(func(addr.PageNum, *[addr.PageSize]byte) { pages++ })
-		state := "mid-op crash"
-		if !out.Crashed {
-			state = "clean cut"
+		m.Img.ForEachPage(func(addr.PageNum, *[addr.PageSize]byte) { cut.PagesScanned++ })
+		cut.Crashed = out.Crashed
+		rep.Cuts = append(rep.Cuts, cut)
+		if format == "text" {
+			state := "mid-op crash"
+			if !out.Crashed {
+				state = "clean cut"
+			}
+			fmt.Printf("  %-16s %s, recovered image clean (%d pages scanned)\n", label+":", state, cut.PagesScanned)
 		}
-		fmt.Printf("  %-16s %s, recovered image clean (%d pages scanned)\n", label+":", state, pages)
 	}
-	if leaks > 0 {
-		fmt.Printf("%d crash point(s) leaked pre-shred plaintext\n", leaks)
+	rep.Clean = rep.Leaks == 0
+
+	if format == "json" {
+		writeJSON(rep)
+		if !rep.Clean {
+			os.Exit(1)
+		}
+		return
+	}
+	if rep.Leaks > 0 {
+		fmt.Printf("%d crash point(s) leaked pre-shred plaintext\n", rep.Leaks)
 		os.Exit(1)
 	}
 	fmt.Printf("no pre-shred plaintext resurfaced at any of %d crash points\n", points+1)
+}
+
+// writeJSON renders one findings report to stdout.
+func writeJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err.Error())
+	}
 }
 
 // byteEntropy computes the Shannon entropy of the page in bits per byte.

@@ -27,6 +27,8 @@ import (
 	"silentshredder/internal/fault"
 	"silentshredder/internal/kernel"
 	"silentshredder/internal/memctrl"
+	"silentshredder/internal/obs"
+	"silentshredder/internal/obscli"
 	"silentshredder/internal/stats"
 	"silentshredder/internal/workloads/spec"
 )
@@ -49,8 +51,20 @@ func main() {
 		saveNVM   = flag.String("save-nvm", "", "after the run, write a memory-state checkpoint (DIMM image) to this file (single workload only)")
 		check     = flag.Bool("check", false, "cross-check every load against the architectural oracle and sweep machine-wide invariants (slow; violations abort)")
 		faults    = flag.String("faults", "", "deterministic fault injection, seed:rate,... e.g. 42:stuck=1e-3,flip=1e-6,drop=1e-4,torn=1e-5,endur=1000 (enables ECC; \"off\" or empty disables)")
+		obsPhase  = flag.Bool("obs-phase", false, "print host wall-time phase/run timings to stderr after the sweep")
 	)
+	var obsFlags obscli.Flags
+	obsFlags.Register(flag.CommandLine)
+	var profCfg obs.ProfileConfig
+	profCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := profCfg.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	faultCfg, err := fault.Parse(*faults)
 	if err != nil {
@@ -111,6 +125,19 @@ func main() {
 		CounterCacheSize: *ccSize,
 		WriteThrough:     *wt,
 		Faults:           faultCfg,
+		EpochEvery:       obsFlags.Epoch,
+	}
+	var profile *exper.SweepProfile
+	if *obsPhase {
+		profile = exper.NewSweepProfile()
+		profile.StartPhase("simulate")
+		o.Profile = profile
+	}
+	reportProfile := func() {
+		if profile != nil {
+			profile.Finish()
+			fmt.Fprint(os.Stderr, profile.Report())
+		}
 	}
 	if faultCfg.Enabled() && *check {
 		fmt.Fprintln(os.Stderr, "shredsim: -check and -faults are incompatible (lost lines legitimately diverge from the oracle)")
@@ -120,6 +147,8 @@ func main() {
 	if len(names) == 1 {
 		// Single run in the main goroutine: the machine stays available
 		// for post-run operations like -save-nvm.
+		bus := obsFlags.NewBus()
+		tweak.Bus = bus
 		m, err := exper.RunWorkloadTweaked(o, names[0], mcMode, zm, tweak)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
@@ -130,6 +159,14 @@ func main() {
 		if cr := m.CheckReport(); cr != "" {
 			fmt.Printf("\n%s\n", cr)
 		}
+		if obsFlags.Enabled() {
+			caps := []obscli.Capture{obsFlags.Capture(names[0], bus, m)}
+			if err := obsFlags.Write(caps); err != nil {
+				fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		reportProfile()
 		if *saveNVM != "" {
 			f, err := os.Create(*saveNVM)
 			if err != nil {
@@ -156,10 +193,15 @@ func main() {
 	// worker, so the sweep is race-free and its output deterministic.
 	type runOut struct {
 		text string
+		cap  obscli.Capture
 		err  error
 	}
-	outs := exper.RunIndexed(*parallel, len(names), func(i int) runOut {
-		m, err := exper.RunWorkloadTweaked(o, names[i], mcMode, zm, tweak)
+	outs := exper.RunIndexed(*parallel, len(names), exper.ProfiledJob(profile, func(i int) runOut {
+		// Per-run bus and sampler, confined to this worker: captures
+		// cross back by value, so traces merge deterministically.
+		tw := tweak
+		tw.Bus = obsFlags.NewBus()
+		m, err := exper.RunWorkloadTweaked(o, names[i], mcMode, zm, tw)
 		if err != nil {
 			return runOut{err: err}
 		}
@@ -168,8 +210,8 @@ func main() {
 		if cr := m.CheckReport(); cr != "" {
 			text += "\n" + cr + "\n"
 		}
-		return runOut{text: text}
-	})
+		return runOut{text: text, cap: obsFlags.Capture(names[i], tw.Bus, m)}
+	}))
 	failed := false
 	for i, r := range outs {
 		if r.err != nil {
@@ -182,6 +224,17 @@ func main() {
 		}
 		fmt.Print(r.text)
 	}
+	if obsFlags.Enabled() && !failed {
+		caps := make([]obscli.Capture, len(outs))
+		for i, r := range outs {
+			caps[i] = r.cap
+		}
+		if err := obsFlags.Write(caps); err != nil {
+			fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
+			failed = true
+		}
+	}
+	reportProfile()
 	if failed {
 		os.Exit(1)
 	}

@@ -17,6 +17,7 @@ import (
 
 	"silentshredder/internal/kernel"
 	"silentshredder/internal/memctrl"
+	"silentshredder/internal/obs"
 	"silentshredder/internal/sim"
 	"silentshredder/internal/trace"
 	"silentshredder/internal/workloads/spec"
@@ -52,7 +53,14 @@ func record(args []string) {
 	out := fs.String("out", "", "output trace file (required)")
 	seed := fs.Int64("seed", 1, "workload instance seed")
 	scale := fs.Int("scale", 8, "cache scale during recording")
+	var profCfg obs.ProfileConfig
+	profCfg.RegisterFlags(fs)
 	fs.Parse(args)
+	stopProf, perr := profCfg.Start()
+	if perr != nil {
+		fatal(perr.Error())
+	}
+	defer stopProf()
 	if *out == "" {
 		fatal("record: -out is required")
 	}
@@ -88,7 +96,14 @@ func replay(args []string) {
 	mode := fs.String("mode", "ss", "controller: ss | baseline")
 	zeroing := fs.String("zeroing", "", "kernel zeroing: shred | non-temporal | temporal")
 	scale := fs.Int("scale", 8, "cache scale during replay")
+	var profCfg obs.ProfileConfig
+	profCfg.RegisterFlags(fs)
 	fs.Parse(args)
+	stopProf, perr := profCfg.Start()
+	if perr != nil {
+		fatal(perr.Error())
+	}
+	defer stopProf()
 	if *in == "" {
 		fatal("replay: -in is required")
 	}

@@ -41,6 +41,12 @@ type Runtime struct {
 	// repurposes the trace hook for cooperative scheduling, and checking
 	// must survive that.
 	check Checker
+
+	// obsHook, when set, fires before every operation so the machine's
+	// observability layer can update its notion of time (core + cycle
+	// count) and take epoch samples. Like check, it is separate from
+	// trace so cooperative scheduling cannot displace it.
+	obsHook func()
 }
 
 // Checker observes a runtime's operations and validates its load results
@@ -120,7 +126,14 @@ func (rt *Runtime) SetTraceHook(fn func(op TraceOp)) { rt.trace = fn }
 // SetChecker installs c as the architectural checker (nil disables).
 func (rt *Runtime) SetChecker(c Checker) { rt.check = c }
 
+// SetObsHook installs fn as the pre-operation observability hook (nil
+// disables).
+func (rt *Runtime) SetObsHook(fn func()) { rt.obsHook = fn }
+
 func (rt *Runtime) emit(kind TraceKind, va addr.Virt, arg uint64) {
+	if rt.obsHook != nil {
+		rt.obsHook()
+	}
 	if rt.trace != nil {
 		rt.trace(TraceOp{Kind: kind, VA: va, Arg: arg})
 	}
@@ -201,6 +214,9 @@ func (rt *Runtime) Store(va addr.Virt, val uint64) {
 func (rt *Runtime) LoadBytes(va addr.Virt, n int) []byte {
 	out := make([]byte, 0, n)
 	addr.BlockRange(va, n, func(blk addr.Virt, off, cnt int) {
+		if rt.obsHook != nil {
+			rt.obsHook()
+		}
 		pa, klat := rt.k.Translate(rt.core, rt.proc, blk+addr.Virt(off), false)
 		lat := klat + rt.k.Hierarchy().Read(rt.core, pa)
 		rt.cpu.Load(lat)
@@ -217,6 +233,9 @@ func (rt *Runtime) LoadBytes(va addr.Virt, n int) []byte {
 // StoreBytes writes data starting at va, touching every block.
 func (rt *Runtime) StoreBytes(va addr.Virt, data []byte) {
 	addr.BlockRange(va, len(data), func(blk addr.Virt, off, cnt int) {
+		if rt.obsHook != nil {
+			rt.obsHook()
+		}
 		pa, klat := rt.k.Translate(rt.core, rt.proc, blk+addr.Virt(off), true)
 		rt.k.Hierarchy().Write(rt.core, pa)
 		rt.k.Controller().Image().Write(pa, data[:cnt])

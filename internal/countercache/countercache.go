@@ -25,6 +25,7 @@ import (
 	"silentshredder/internal/clock"
 	"silentshredder/internal/ctr"
 	"silentshredder/internal/nvm"
+	"silentshredder/internal/obs"
 	"silentshredder/internal/stats"
 )
 
@@ -74,7 +75,8 @@ type Cache struct {
 	cached  map[addr.PageNum]*ctr.CounterBlock // contents of resident lines
 	region  map[addr.PageNum]ctr.CounterBlock  // NVM-resident (persistent) values
 	dev     *nvm.Device
-	backend Backend // optional ECC/fault mediation layer
+	backend Backend  // optional ECC/fault mediation layer
+	bus     *obs.Bus // nil unless observability is enabled
 
 	fetches, writebacks, writeThroughs stats.Counter
 	prefetches                         stats.Counter
@@ -103,6 +105,9 @@ func (c *Cache) Config() Config { return c.cfg }
 // SetBackend installs a device-traffic mediation layer (ECC). Pass nil to
 // restore direct device access.
 func (c *Cache) SetBackend(b Backend) { c.backend = b }
+
+// SetBus attaches the observability event bus (nil disables).
+func (c *Cache) SetBus(b *obs.Bus) { c.bus = b }
 
 // PageOf translates a counter-region physical address back to the page
 // whose counters it holds. The ECC layer uses it to identify which page a
@@ -145,9 +150,11 @@ func pageOfCtrAddr(a addr.Phys) addr.PageNum {
 // be followed by MarkDirty.
 func (c *Cache) Get(p addr.PageNum) (*ctr.CounterBlock, clock.Cycles, bool) {
 	if c.tags.Lookup(ctrAddr(p)) != nil {
+		c.bus.Emit(obs.EvCtrHit, uint64(p.Addr()), 0)
 		return c.cached[p], c.cfg.HitLatency, true
 	}
 	// Miss: fetch from NVM.
+	c.bus.Emit(obs.EvCtrMiss, uint64(p.Addr()), 0)
 	c.fetches.Inc()
 	lat := c.cfg.HitLatency + c.readDev(ctrAddr(p))
 	// Install the prefetched block *before* the demand block. If both map
@@ -159,6 +166,7 @@ func (c *Cache) Get(p addr.PageNum) (*ctr.CounterBlock, clock.Cycles, bool) {
 	if c.cfg.PrefetchNext {
 		if next := p + 1; c.tags.Probe(ctrAddr(next)) == nil {
 			c.prefetches.Inc()
+			c.bus.Emit(obs.EvCtrPrefetch, uint64(next.Addr()), 0)
 			c.readDev(ctrAddr(next)) // overlapped: no latency charged
 			nb := c.region[next]
 			c.install(next, &nb, false)
@@ -176,6 +184,7 @@ func (c *Cache) install(p addr.PageNum, cb *ctr.CounterBlock, dirty bool) {
 	if evicted {
 		vp := pageOfCtrAddr(victim.Addr())
 		if victim.Dirty {
+			c.bus.Emit(obs.EvCtrEvict, uint64(vp.Addr()), 0)
 			c.writebackPage(vp)
 		}
 		delete(c.cached, vp)

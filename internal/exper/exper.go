@@ -13,6 +13,7 @@ import (
 	"silentshredder/internal/fault"
 	"silentshredder/internal/kernel"
 	"silentshredder/internal/memctrl"
+	"silentshredder/internal/obs"
 	"silentshredder/internal/sim"
 	"silentshredder/internal/workloads/graph"
 	"silentshredder/internal/workloads/kvstore"
@@ -40,6 +41,11 @@ type Options struct {
 	// sweeps to every machine (sim.Config.CheckOracle). Violations panic;
 	// expect a large slowdown. Implies the functional data path.
 	Check bool
+	// Profile, when non-nil, collects host wall-time phase timers and
+	// per-run duration histograms over every sweep run through this
+	// Options value (the `-obs-phase` flag). Host-time measurement only:
+	// its report is nondeterministic and is never part of golden output.
+	Profile *SweepProfile
 }
 
 // DefaultOptions returns the standard experiment scale: the paper's 8
@@ -264,6 +270,15 @@ type MachineTweaks struct {
 	// Faults enables the deterministic fault injector (zero value = perfect
 	// device). Forces the functional data path and the ECC layer on.
 	Faults fault.Config
+
+	// Bus, when non-nil, receives the machine's observability events
+	// (sim.Config.Bus). The caller owns the bus; under a parallel sweep
+	// each worker must pass its own so event order stays deterministic.
+	Bus *obs.Bus
+	// EpochEvery > 0 attaches an epoch sampler snapshotting the stats
+	// registry every EpochEvery cycles (sim.Config.EpochEvery). The
+	// end-of-run sample is taken before RunWorkloadTweaked returns.
+	EpochEvery uint64
 }
 
 // RunWorkloadTweaked is RunWorkload with controller-feature overrides.
@@ -291,8 +306,11 @@ func RunWorkloadTweaked(o Options, name string, mode memctrl.Mode, zm kernel.Zer
 		// DEUCE's partial re-encryption needs the data path.
 		cfg.StoreData = true
 	}
+	cfg.Bus = t.Bus
+	cfg.EpochEvery = t.EpochEvery
 	m := sim.MustNew(cfg)
 	runConcurrent(o, m, name)
+	m.ObsFinish()
 	return m, nil
 }
 

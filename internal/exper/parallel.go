@@ -122,5 +122,5 @@ func RunIndexed[T any](parallel, n int, job func(i int) T) []T {
 // point every figure/table/ablation sweep in this package funnels
 // through.
 func runSweep[T any](o Options, n int, job func(i int) T) []T {
-	return RunIndexed(o.workers(), n, job)
+	return RunIndexed(o.workers(), n, ProfiledJob(o.Profile, job))
 }

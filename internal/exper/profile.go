@@ -1,0 +1,150 @@
+// Sweep profiling: wall-time phase timers for the experiment harness.
+// Unlike everything else in this package, these measure *host* time — they
+// exist to answer "where does my simulation wall-clock go?" (which
+// experiment phase, and how per-run durations are distributed across the
+// worker pool), not to model the machine. Their output is therefore
+// nondeterministic by nature and must never be mixed into golden output;
+// the CLIs print it to stderr behind an explicit flag.
+package exper
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"silentshredder/internal/stats"
+)
+
+// SweepProfile accumulates per-phase wall time and per-run duration
+// histograms across a sweep. All methods are nil-safe (a nil profile is
+// the disabled state, costing one pointer test per run) and safe for
+// concurrent use — sweep workers record run durations from their own
+// goroutines.
+type SweepProfile struct {
+	mu     sync.Mutex
+	start  time.Time
+	phases []*phaseRecord
+	cur    *phaseRecord
+}
+
+type phaseRecord struct {
+	name  string
+	start time.Time
+	wall  time.Duration
+	// runs holds per-run wall durations in milliseconds: power-of-two
+	// buckets resolve "a few ms" from "a few seconds" well enough to spot
+	// stragglers.
+	runs stats.Histogram
+}
+
+// NewSweepProfile returns an empty profile with its clock started.
+func NewSweepProfile() *SweepProfile {
+	return &SweepProfile{start: time.Now()}
+}
+
+// StartPhase closes the current phase (if any) and opens a named one.
+// Successive phases with the same name accumulate into one record.
+func (p *SweepProfile) StartPhase(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.startPhaseLocked(name)
+}
+
+func (p *SweepProfile) closeCurrentLocked(now time.Time) {
+	if p.cur != nil {
+		p.cur.wall += now.Sub(p.cur.start)
+		p.cur = nil
+	}
+}
+
+// Finish closes the current phase. Safe to call more than once.
+func (p *SweepProfile) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closeCurrentLocked(time.Now())
+}
+
+// observeRun records one job's wall duration against the current phase
+// (or an implicit "sweep" phase when none was started). Called from sweep
+// worker goroutines.
+func (p *SweepProfile) observeRun(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ph := p.cur
+	if ph == nil {
+		p.startPhaseLocked("sweep")
+		ph = p.cur
+	}
+	ph.runs.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// startPhaseLocked is StartPhase's body; callers hold p.mu.
+func (p *SweepProfile) startPhaseLocked(name string) {
+	now := time.Now()
+	p.closeCurrentLocked(now)
+	for _, ph := range p.phases {
+		if ph.name == name {
+			ph.start = now
+			p.cur = ph
+			return
+		}
+	}
+	ph := &phaseRecord{name: name, start: now}
+	p.phases = append(p.phases, ph)
+	p.cur = ph
+}
+
+// ProfiledJob wraps a sweep job with a per-run duration observation
+// against p's current phase (identity when p is nil). runSweep applies it
+// to every internal sweep; CLIs that call RunIndexed directly wrap their
+// job the same way.
+func ProfiledJob[T any](p *SweepProfile, job func(i int) T) func(i int) T {
+	if p == nil {
+		return job
+	}
+	return func(i int) T {
+		t0 := time.Now()
+		v := job(i)
+		p.observeRun(time.Since(t0))
+		return v
+	}
+}
+
+// Report renders the profile: one line per phase with accumulated wall
+// time and the per-run duration distribution, then a total. Durations are
+// host wall-clock — do not diff this against golden files.
+func (p *SweepProfile) Report() string {
+	if p == nil {
+		return ""
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	var b strings.Builder
+	b.WriteString("phase profile (host wall time):\n")
+	for _, ph := range p.phases {
+		wall := ph.wall
+		if ph == p.cur {
+			wall += now.Sub(ph.start)
+		}
+		fmt.Fprintf(&b, "  %-16s %8.2fs", ph.name, wall.Seconds())
+		if n := ph.runs.Count(); n > 0 {
+			qs := ph.runs.Quantiles([]float64{0.5, 0.99})
+			fmt.Fprintf(&b, "  runs=%d mean=%.1fms p50<=%.0fms p99<=%.0fms max=%.1fms",
+				n, ph.runs.Mean(), qs[0], qs[1], ph.runs.Max())
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  %-16s %8.2fs\n", "total", now.Sub(p.start).Seconds())
+	return b.String()
+}

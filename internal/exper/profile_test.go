@@ -1,0 +1,81 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilSweepProfileIsInert(t *testing.T) {
+	var p *SweepProfile
+	p.StartPhase("x")
+	p.observeRun(time.Millisecond)
+	p.Finish()
+	if p.Report() != "" {
+		t.Fatal("nil profile reports")
+	}
+	job := ProfiledJob(p, func(i int) int { return i * 2 })
+	if job(21) != 42 {
+		t.Fatal("nil-profile ProfiledJob does not pass through")
+	}
+}
+
+func TestSweepProfilePhasesAndRuns(t *testing.T) {
+	p := NewSweepProfile()
+	p.StartPhase("warm")
+	job := ProfiledJob(p, func(i int) int { return i })
+	for i := 0; i < 3; i++ {
+		job(i)
+	}
+	p.StartPhase("measure")
+	job(3)
+	p.StartPhase("warm") // same name accumulates, not a new record
+	job(4)
+	p.Finish()
+	p.Finish() // idempotent
+
+	rep := p.Report()
+	for _, want := range []string{"phase profile (host wall time):", "warm", "measure", "total", "runs=4", "runs=1"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if n := strings.Count(rep, "warm"); n != 1 {
+		t.Errorf("phase 'warm' appears %d times, want 1 (same-name phases accumulate):\n%s", n, rep)
+	}
+	// 5 lines: header, two phases, total... plus trailing newline split.
+	if lines := strings.Count(rep, "\n"); lines != 4 {
+		t.Errorf("report has %d lines, want 4:\n%s", lines, rep)
+	}
+}
+
+func TestSweepProfileImplicitSweepPhase(t *testing.T) {
+	p := NewSweepProfile()
+	// observeRun with no phase open must self-start an implicit "sweep".
+	p.observeRun(2 * time.Millisecond)
+	rep := p.Report() // current phase still open: wall includes time-to-now
+	if !strings.Contains(rep, "sweep") || !strings.Contains(rep, "runs=1") {
+		t.Fatalf("implicit phase missing:\n%s", rep)
+	}
+}
+
+func TestSweepProfileConcurrentObserve(t *testing.T) {
+	p := NewSweepProfile()
+	p.StartPhase("parallel")
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				p.observeRun(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	p.Finish()
+	if !strings.Contains(p.Report(), "runs=400") {
+		t.Fatalf("lost observations:\n%s", p.Report())
+	}
+}

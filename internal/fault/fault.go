@@ -38,6 +38,7 @@ import (
 
 	"silentshredder/internal/addr"
 	"silentshredder/internal/nvm"
+	"silentshredder/internal/obs"
 	"silentshredder/internal/stats"
 )
 
@@ -183,7 +184,12 @@ type Injector struct {
 	readFlips     stats.Counter
 	droppedWrites stats.Counter
 	tornWrites    stats.Counter
+
+	bus *obs.Bus // nil unless observability is enabled
 }
+
+// SetBus attaches the observability event bus (nil disables).
+func (in *Injector) SetBus(b *obs.Bus) { in.bus = b }
 
 // New creates an injector for the given fault configuration.
 func New(cfg Config) *Injector {
@@ -272,6 +278,7 @@ func (in *Injector) FilterWrite(a addr.Phys, wear uint64, old, src []byte) bool 
 	}
 	if in.hit(in.cfg.DropWrite, saltDrop, a) {
 		in.droppedWrites.Inc()
+		in.bus.Emit(obs.EvFaultDrop, uint64(a), 0)
 		return false // stored contents stay the old, self-consistent codeword
 	}
 	if in.hit(in.cfg.TornWrite, saltTorn, a) {
@@ -282,6 +289,7 @@ func (in *Injector) FilterWrite(a addr.Phys, wear uint64, old, src []byte) bool 
 		copy(src[cut:addr.BlockSize], old[cut:addr.BlockSize])
 		in.torn[a] = true
 		in.tornWrites.Inc()
+		in.bus.Emit(obs.EvFaultTorn, uint64(a), uint64(cut))
 		return true
 	}
 	// A clean, complete write re-establishes a consistent codeword.
@@ -298,6 +306,7 @@ func (in *Injector) addStuck(a addr.Phys, bit uint16, val bool) {
 	}
 	in.stuck[a] = append(in.stuck[a], stuckBit{bit: bit, val: val})
 	in.stuckCells.Inc()
+	in.bus.Emit(obs.EvFaultStuck, uint64(a), uint64(bit))
 }
 
 // CorruptRead implements nvm.Injector. dst holds the true stored codeword
@@ -318,6 +327,7 @@ func (in *Injector) CorruptRead(a addr.Phys, dst []byte) nvm.ReadOutcome {
 		bit := uint16(in.rnd(saltFlipBit, a) % (addr.BlockSize * 8))
 		dst[bit>>3] ^= byte(1) << (bit & 7)
 		in.readFlips.Inc()
+		in.bus.Emit(obs.EvFaultFlip, uint64(a), uint64(bit))
 		oc.BitErrors++
 	}
 	oc.Torn = in.torn[a]

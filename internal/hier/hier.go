@@ -17,6 +17,7 @@ import (
 	"silentshredder/internal/cache"
 	"silentshredder/internal/clock"
 	"silentshredder/internal/memctrl"
+	"silentshredder/internal/obs"
 	"silentshredder/internal/stats"
 )
 
@@ -73,7 +74,12 @@ type Hierarchy struct {
 	interventions stats.Counter // dirty-owner interventions
 	llcMisses     stats.Counter
 	pageInvals    stats.Counter // shred-driven page invalidations
+
+	bus *obs.Bus // nil unless observability is enabled
 }
+
+// SetBus attaches the observability event bus (nil disables).
+func (h *Hierarchy) SetBus(b *obs.Bus) { h.bus = b }
 
 // New creates a hierarchy in front of mc.
 func New(cfg Config, mc *memctrl.Controller) *Hierarchy {
@@ -260,6 +266,7 @@ func (h *Hierarchy) ShredInvalidate(p addr.PageNum) int {
 	for i := 0; i < addr.BlocksPerPage; i++ {
 		delete(h.dir, p.BlockAddr(i))
 	}
+	h.bus.Emit(obs.EvPageInval, uint64(p.Addr()), uint64(msgs))
 	return msgs
 }
 

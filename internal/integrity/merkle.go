@@ -20,6 +20,7 @@ import (
 	"silentshredder/internal/addr"
 	"silentshredder/internal/clock"
 	"silentshredder/internal/ctr"
+	"silentshredder/internal/obs"
 	"silentshredder/internal/stats"
 )
 
@@ -48,7 +49,12 @@ type Tree struct {
 
 	updates, verifies stats.Counter
 	hashOps           stats.Counter
+
+	bus *obs.Bus // nil unless observability is enabled
 }
+
+// SetBus attaches the observability event bus (nil disables).
+func (t *Tree) SetBus(b *obs.Bus) { t.bus = b }
 
 // NewTree creates an empty tree.
 func NewTree(cfg Config) *Tree {
@@ -97,6 +103,7 @@ func (t *Tree) Root() Hash { return t.root }
 // model folds into the same hash cost).
 func (t *Tree) Update(p addr.PageNum, block [ctr.CounterBlockSize]byte) clock.Cycles {
 	t.updates.Inc()
+	t.bus.Emit(obs.EvMerkleUpdate, uint64(p.Addr()), uint64(t.cfg.Depth+1))
 	idx := uint64(p)
 	h := sha256.Sum256(block[:])
 	t.nodes[0][idx] = h
@@ -124,6 +131,11 @@ func (t *Tree) Update(p addr.PageNum, block [ctr.CounterBlockSize]byte) clock.Cy
 // optimization), so its cost is (Depth - CachedLevels + 1) hashes.
 func (t *Tree) Verify(p addr.PageNum, block [ctr.CounterBlockSize]byte) (bool, clock.Cycles) {
 	t.verifies.Inc()
+	path := t.cfg.Depth - t.cfg.CachedLevels + 1
+	if path < 1 {
+		path = 1
+	}
+	t.bus.Emit(obs.EvMerkleVerify, uint64(p.Addr()), uint64(path))
 	idx := uint64(p)
 	h := sha256.Sum256(block[:])
 	t.hashOps.Inc()

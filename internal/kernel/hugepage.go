@@ -4,6 +4,7 @@ import (
 	"silentshredder/internal/addr"
 	"silentshredder/internal/clock"
 	"silentshredder/internal/mmu"
+	"silentshredder/internal/obs"
 )
 
 // Huge-page support (2MB). The paper's §7.2 notes that VMs and large
@@ -80,6 +81,7 @@ func (k *Kernel) faultHuge(core int, p *Process, base addr.VPageNum) (clock.Cycl
 	}
 	k.pageFaults.Inc()
 	k.hugeFaults.Inc()
+	k.bus.Emit(obs.EvHugeFault, uint64(base.Addr()), HugePages)
 	lat := k.cfg.FaultOverhead
 	for i := 0; i < HugePages; i++ {
 		lat += k.ClearPage(core, ppn+addr.PageNum(i))

@@ -26,6 +26,7 @@ import (
 	"silentshredder/internal/hier"
 	"silentshredder/internal/memctrl"
 	"silentshredder/internal/mmu"
+	"silentshredder/internal/obs"
 	"silentshredder/internal/stats"
 )
 
@@ -174,7 +175,12 @@ type Kernel struct {
 	persistFlushes       stats.Counter
 	journalCommits       stats.Counter
 	pagesRetired         stats.Counter
+
+	bus *obs.Bus // nil unless observability is enabled
 }
+
+// SetBus attaches the observability event bus (nil disables).
+func (k *Kernel) SetBus(b *obs.Bus) { k.bus = b }
 
 // New creates a kernel managing the given hierarchy with pages from src.
 // The first page from src becomes the shared Zero Page.
@@ -286,6 +292,7 @@ func (k *Kernel) Translate(core int, p *Process, va addr.Virt, write bool) (addr
 		// clear a physical page (the COW break / first-touch fault).
 		if mapped && pte.ZeroPage {
 			k.cowFaults.Inc()
+			k.bus.Emit(obs.EvCoWFault, uint64(va), 0)
 		}
 		if base, huge := p.hugeBase(vpn); huge && !mapped {
 			if hlat, ok := k.faultHuge(core, p, base); ok {
@@ -364,6 +371,7 @@ func (k *Kernel) PagesRetired() uint64 { return k.pagesRetired.Value() }
 // and returns the fault cycles.
 func (k *Kernel) fault(core int, p *Process, vpn addr.VPageNum) clock.Cycles {
 	k.pageFaults.Inc()
+	k.bus.Emit(obs.EvPageFault, uint64(vpn.Addr()), 0)
 	ppn, ok := k.allocPage()
 	if !ok {
 		k.oomEvents.Inc()
@@ -496,12 +504,16 @@ func (k *Kernel) OOMEvents() uint64 { return k.oomEvents.Value() }
 // ResetStats clears kernel statistics.
 func (k *Kernel) ResetStats() {
 	k.pageFaults.Reset()
+	k.hugeFaults.Reset()
 	k.cowFaults.Reset()
 	k.pagesCleared.Reset()
 	k.ntZeroWrites.Reset()
 	k.zeroCycles.Reset()
 	k.faultCycles.Reset()
 	k.oomEvents.Reset()
+	k.enclavePagesShredded.Reset()
+	k.persistFlushes.Reset()
+	k.journalCommits.Reset()
 	k.pagesRetired.Reset()
 }
 

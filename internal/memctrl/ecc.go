@@ -42,6 +42,7 @@ import (
 	"silentshredder/internal/clock"
 	"silentshredder/internal/ctr"
 	"silentshredder/internal/nvm"
+	"silentshredder/internal/obs"
 	"silentshredder/internal/wearlevel"
 )
 
@@ -93,8 +94,8 @@ type FaultSink interface {
 // the normal write path (counter bump, encryption, integrity update),
 // which cannot run re-entrantly inside the read that discovered the loss.
 type faultWork struct {
-	line addr.Phys    // data line to rewrite as zeros (when !isPage)
-	page addr.PageNum // page to degrade wholesale (when isPage)
+	line   addr.Phys    // data line to rewrite as zeros (when !isPage)
+	page   addr.PageNum // page to degrade wholesale (when isPage)
 	isPage bool
 }
 
@@ -204,6 +205,7 @@ func (mc *Controller) readData(a addr.Phys, buf []byte) (clock.Cycles, bool) {
 		// SECDED correction: repair the delivered copy from the stored
 		// code word (one extra array read) and count the event.
 		mc.eccCorrections.Inc()
+		mc.bus.Emit(obs.EvECCCorrect, uint64(a), 0)
 		if buf != nil {
 			mc.dev.Peek(pa, buf)
 		}
@@ -230,6 +232,7 @@ func (mc *Controller) readData(a addr.Phys, buf []byte) (clock.Cycles, bool) {
 // counters converge.
 func (mc *Controller) loseDataLine(a, pa addr.Phys, oc nvm.ReadOutcome) {
 	mc.eccUncorrectable.Inc()
+	mc.bus.Emit(obs.EvECCUncorrectable, uint64(a), uint64(oc.BitErrors))
 	mc.recordFault(&UncorrectableError{Addr: a, Line: pa, BitErrors: oc.BitErrors, Torn: oc.Torn})
 	mc.retireLine(a, nil)
 	if mc.img.Enabled() {
@@ -248,6 +251,7 @@ func (mc *Controller) retireLine(a addr.Phys, contents []byte) {
 		panic(fmt.Sprintf("memctrl: cannot retire line %v: %v", a, err))
 	}
 	mc.linesRetired.Inc()
+	mc.bus.Emit(obs.EvLineRetire, uint64(a), 0)
 	delete(mc.ecc.corrections, a)
 	if contents != nil {
 		mc.dev.WriteBlock(spare, contents)
@@ -323,6 +327,7 @@ func (mc *Controller) ReadCounters(ctrA addr.Phys) clock.Cycles {
 	switch {
 	case oc.Torn || oc.BitErrors > 1:
 		mc.eccUncorrectable.Inc()
+		mc.bus.Emit(obs.EvECCUncorrectable, uint64(ctrA), uint64(oc.BitErrors))
 		p := mc.cc.PageOf(ctrA)
 		mc.recordFault(&UncorrectableError{Addr: ctrA, Line: pa, BitErrors: oc.BitErrors, Torn: oc.Torn, Counter: true})
 		cb := mc.cc.PersistedValue(p)
@@ -331,6 +336,7 @@ func (mc *Controller) ReadCounters(ctrA addr.Phys) clock.Cycles {
 		mc.ecc.pending = append(mc.ecc.pending, faultWork{page: p, isPage: true})
 	case oc.BitErrors == 1:
 		mc.eccCorrections.Inc()
+		mc.bus.Emit(obs.EvECCCorrect, uint64(ctrA), 0)
 		lat += mc.dev.Config().ReadLatency
 		mc.ecc.corrections[ctrA]++
 		if mc.ecc.corrections[ctrA] >= mc.ecc.retireAfter {

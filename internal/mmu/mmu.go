@@ -194,6 +194,15 @@ func (t *TLB) MissRate() float64 {
 	return float64(t.misses.Value()) / float64(tot)
 }
 
+// ResetStats clears the TLB's access statistics, leaving resident
+// translations intact (a measurement-phase boundary does not flush the
+// TLB, it only re-scopes what is counted).
+func (t *TLB) ResetStats() {
+	t.hits.Reset()
+	t.misses.Reset()
+	t.flushes.Reset()
+}
+
 // StatsSet exposes TLB statistics under the given name.
 func (t *TLB) StatsSet(name string) *stats.Set {
 	s := stats.NewSet(name)

@@ -132,8 +132,8 @@ type Device struct {
 	flip  map[addr.Phys]uint8 // FNW flip bit per 8-byte word, bit i = word i of block
 	wear  map[addr.Phys]uint64
 
-	inj       Injector           // nil = perfect device
-	writeHook func(a addr.Phys)  // crash scheduler; runs before any commit
+	inj       Injector          // nil = perfect device
+	writeHook func(a addr.Phys) // crash scheduler; runs before any commit
 	scratch   [addr.BlockSize]byte
 
 	reads, writes, skippedWrites stats.Counter

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Chrome trace_event exporter. The output is the JSON Object Format
+// ({"traceEvents":[...]}) understood by chrome://tracing and Perfetto.
+// Every machine event becomes an instant event (ph "i", thread scope);
+// timestamps are microseconds derived from core cycles at the machine's
+// clock frequency. Each run in a multi-run export becomes a process
+// (pid = run index) and each core a thread (tid = core + 1; tid 0 is
+// the "machine" context for events emitted outside any core).
+//
+// The exporter is fully deterministic: events are written in emission
+// order within a run, runs in index order, and all floating-point
+// formatting is fixed-precision.
+
+// TraceRun is one machine's worth of events, labeled for export.
+type TraceRun struct {
+	// Name labels the run (becomes the process_name metadata).
+	Name string
+	// Events are the run's events in emission order.
+	Events []Event
+}
+
+// CyclesPerMicrosecond converts core cycles to trace microseconds
+// (2 GHz machine clock; see internal/clock.FrequencyHz).
+const CyclesPerMicrosecond = 2000
+
+// WriteChromeTrace writes runs as a Chrome trace_event JSON document.
+func WriteChromeTrace(w io.Writer, runs []TraceRun) error {
+	bw := &errWriter{w: w}
+	bw.str(`{"traceEvents":[` + "\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.str(",\n")
+		}
+		first = false
+		bw.str(line)
+	}
+	for pid, run := range runs {
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, quoteJSON(run.Name)))
+		for _, tid := range runTids(run.Events) {
+			name := "machine"
+			if tid > 0 {
+				name = fmt.Sprintf("core %d", tid-1)
+			}
+			emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+				pid, tid, quoteJSON(name)))
+		}
+		for _, ev := range run.Events {
+			emit(chromeInstant(pid, ev))
+		}
+	}
+	bw.str("\n]}\n")
+	return bw.err
+}
+
+// runTids returns the sorted set of thread ids present in events.
+func runTids(events []Event) []int {
+	seen := map[int]bool{}
+	for _, ev := range events {
+		seen[int(ev.Core)+1] = true
+	}
+	tids := make([]int, 0, len(seen))
+	for t := range seen {
+		tids = append(tids, t)
+	}
+	sort.Ints(tids)
+	return tids
+}
+
+func chromeInstant(pid int, ev Event) string {
+	var sb strings.Builder
+	sb.WriteString(`{"name":`)
+	sb.WriteString(quoteJSON(ev.Kind.String()))
+	sb.WriteString(`,"ph":"i","s":"t","cat":"machine","ts":`)
+	sb.WriteString(formatTS(ev.TS))
+	sb.WriteString(`,"pid":`)
+	sb.WriteString(strconv.Itoa(pid))
+	sb.WriteString(`,"tid":`)
+	sb.WriteString(strconv.Itoa(int(ev.Core) + 1))
+	sb.WriteString(`,"args":{"seq":`)
+	sb.WriteString(strconv.FormatUint(ev.Seq, 10))
+	if ev.Addr != 0 {
+		sb.WriteString(`,"addr":"0x`)
+		sb.WriteString(strconv.FormatUint(ev.Addr, 16))
+		sb.WriteString(`"`)
+	}
+	if ev.Arg != 0 {
+		sb.WriteString(`,"arg":`)
+		sb.WriteString(strconv.FormatUint(ev.Arg, 10))
+	}
+	sb.WriteString(`}}`)
+	return sb.String()
+}
+
+// formatTS renders a cycle count as fixed-precision microseconds
+// (three decimals — half-nanosecond cycle resolution at 2 GHz).
+func formatTS(cycles uint64) string {
+	whole := cycles / CyclesPerMicrosecond
+	frac := cycles % CyclesPerMicrosecond
+	// frac/2000 µs in thousandths: frac*1000/2000 = frac/2.
+	return fmt.Sprintf("%d.%03d", whole, frac/2)
+}
+
+func quoteJSON(s string) string { return strconv.Quote(s) }
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) str(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}

@@ -1,0 +1,322 @@
+// Package obs is the machine's observability layer: a typed,
+// ring-buffered event bus that components emit into, with exporters to
+// the Chrome trace_event JSON format (chrome://tracing / Perfetto) and
+// a compact binary spill format for bounded-memory long runs.
+//
+// The bus is designed to cost nothing when disabled: every component
+// holds a possibly-nil *Bus and calls Emit unconditionally; a nil
+// receiver returns immediately and the call is allocation-free (see
+// TestDisabledEmitAllocs). When enabled, events land in a preallocated
+// ring, so the steady-state enabled path is allocation-free too.
+//
+// Determinism contract: a Bus is single-goroutine, like the machine it
+// observes. Under the parallel sweep engine each worker's machine gets
+// its own Bus; the per-run event slices are plain values that cross the
+// channel and are merged in submission (index) order, so exported
+// traces are byte-identical for any -parallel value. Event timestamps
+// come from the issuing core's cycle counter via SetNow, never from
+// wall-clock time.
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Kind identifies an event type.
+type Kind uint8
+
+// Event kinds. The numbering is part of the binary spill format; append
+// only.
+const (
+	// EvShred: the controller executed a shred command for a page.
+	// Addr = physical page base.
+	EvShred Kind = iota + 1
+	// EvZeroFill: a read was short-circuited to zeroes because the
+	// block's counters were all-shredded (the paper's avoided read).
+	// Addr = physical block address.
+	EvZeroFill
+	// EvCtrHit / EvCtrMiss: counter-cache lookup outcome. Addr =
+	// physical page base.
+	EvCtrHit
+	EvCtrMiss
+	// EvCtrEvict: a dirty counter block was written back on eviction.
+	// Addr = physical page base of the victim.
+	EvCtrEvict
+	// EvCtrPrefetch: a neighboring counter block was prefetched.
+	// Addr = physical page base prefetched.
+	EvCtrPrefetch
+	// EvReencrypt: a minor-counter wrap forced a page re-encryption.
+	// Addr = physical page base, Arg = blocks rewritten.
+	EvReencrypt
+	// EvECCCorrect: SECDED corrected a single-bit error. Addr =
+	// physical block address.
+	EvECCCorrect
+	// EvECCUncorrectable: a double-bit (uncorrectable) error was
+	// detected. Addr = physical block address.
+	EvECCUncorrectable
+	// EvLineRetire: a line exceeded its correction budget and was
+	// remapped to a spare. Addr = physical block address.
+	EvLineRetire
+	// EvMerkleVerify / EvMerkleUpdate: Bonsai Merkle tree traversal.
+	// Addr = physical page base, Arg = tree levels hashed.
+	EvMerkleVerify
+	EvMerkleUpdate
+	// EvCrash / EvRecover: whole-machine power loss and the subsequent
+	// recovery pass. Arg on EvRecover = blocks recovered.
+	EvCrash
+	EvRecover
+	// EvPageFault / EvCoWFault / EvHugeFault: kernel demand-fill,
+	// copy-on-write, and hugepage faults. Addr = faulting virtual
+	// address.
+	EvPageFault
+	EvCoWFault
+	EvHugeFault
+	// EvFaultStuck / EvFaultFlip / EvFaultDrop / EvFaultTorn: NVM
+	// fault-injector activations (stuck-at cell, transient read flip,
+	// dropped write, torn write). Addr = physical block address.
+	EvFaultStuck
+	EvFaultFlip
+	EvFaultDrop
+	EvFaultTorn
+	// EvPageInval: the coherence fabric invalidated a whole page ahead
+	// of a shred command (Figure 6, step 2). Addr = physical page base,
+	// Arg = blocks found resident.
+	EvPageInval
+
+	kindMax
+)
+
+var kindNames = [kindMax]string{
+	EvShred:            "shred",
+	EvZeroFill:         "zero_fill",
+	EvCtrHit:           "ctr_hit",
+	EvCtrMiss:          "ctr_miss",
+	EvCtrEvict:         "ctr_evict",
+	EvCtrPrefetch:      "ctr_prefetch",
+	EvReencrypt:        "reencrypt",
+	EvECCCorrect:       "ecc_correct",
+	EvECCUncorrectable: "ecc_uncorrectable",
+	EvLineRetire:       "line_retire",
+	EvMerkleVerify:     "merkle_verify",
+	EvMerkleUpdate:     "merkle_update",
+	EvCrash:            "crash",
+	EvRecover:          "recover",
+	EvPageFault:        "page_fault",
+	EvCoWFault:         "cow_fault",
+	EvHugeFault:        "huge_fault",
+	EvFaultStuck:       "fault_stuck",
+	EvFaultFlip:        "fault_flip",
+	EvFaultDrop:        "fault_drop",
+	EvFaultTorn:        "fault_torn",
+	EvPageInval:        "page_inval",
+}
+
+// String returns the event kind's stable name (used in exported
+// traces).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one observed machine event.
+type Event struct {
+	// Seq is the bus-local emission sequence number (0-based). It
+	// breaks timestamp ties deterministically.
+	Seq uint64
+	// TS is the emitting core's cycle count at emission time.
+	TS uint64
+	// Kind identifies the event.
+	Kind Kind
+	// Core is the core context the event was emitted under (-1 when
+	// outside any core, e.g. machine-level crash/recovery).
+	Core int32
+	// Addr is the event's address operand (physical or virtual per
+	// Kind; 0 if unused).
+	Addr uint64
+	// Arg is the event's scalar operand (0 if unused).
+	Arg uint64
+}
+
+// DefaultRingCap is the event capacity of a Bus created with a zero
+// Config. At 40 bytes/event this is ~40 MiB — large enough that quick
+// runs never wrap, small enough to stay bounded.
+const DefaultRingCap = 1 << 20
+
+// Config parameterizes a Bus.
+type Config struct {
+	// RingCap is the in-memory event capacity (DefaultRingCap if 0).
+	RingCap int
+	// Spill, when non-nil, receives the ring's contents in the binary
+	// spill format each time it fills, bounding memory for arbitrarily
+	// long runs. When nil, a full ring drops the oldest events instead
+	// (Dropped counts them).
+	Spill io.Writer
+}
+
+// Bus collects events from one machine. A nil *Bus is a valid,
+// permanently-disabled bus: all methods are no-ops. A non-nil Bus is
+// not safe for concurrent use; under the parallel sweep engine each
+// worker machine owns its own Bus.
+type Bus struct {
+	ring  []Event
+	n     int // events currently in ring
+	start int // index of oldest event (ring is circular when dropping)
+	seq   uint64
+
+	now  uint64
+	core int32
+
+	spill    io.Writer
+	spillErr error
+	spilled  uint64 // events written to spill
+	dropped  uint64 // events overwritten (no spill configured)
+}
+
+// NewBus creates an enabled bus.
+func NewBus(cfg Config) *Bus {
+	cap := cfg.RingCap
+	if cap <= 0 {
+		cap = DefaultRingCap
+	}
+	return &Bus{ring: make([]Event, 0, cap), core: -1, spill: cfg.Spill}
+}
+
+// Enabled reports whether the bus records events.
+func (b *Bus) Enabled() bool { return b != nil }
+
+// SetNow updates the bus's notion of current time: the issuing core and
+// its cycle count. Components emit relative to the most recent SetNow.
+// No-op on a nil bus.
+func (b *Bus) SetNow(core int, cycles uint64) {
+	if b == nil {
+		return
+	}
+	b.core = int32(core)
+	b.now = cycles
+}
+
+// Now returns the bus's current cycle count (0 on a nil bus).
+func (b *Bus) Now() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.now
+}
+
+// Emit records one event at the current time. No-op (and
+// allocation-free) on a nil bus.
+func (b *Bus) Emit(kind Kind, addrOp, arg uint64) {
+	if b == nil {
+		return
+	}
+	ev := Event{Seq: b.seq, TS: b.now, Kind: kind, Core: b.core, Addr: addrOp, Arg: arg}
+	b.seq++
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, ev)
+		b.n = len(b.ring)
+		return
+	}
+	// Ring is full.
+	if b.spill != nil {
+		b.flushRingToSpill()
+		b.ring = b.ring[:1]
+		b.ring[0] = ev
+		b.n = 1
+		b.start = 0
+		return
+	}
+	// No spill: overwrite the oldest event.
+	b.ring[b.start] = ev
+	b.start = (b.start + 1) % len(b.ring)
+	b.dropped++
+}
+
+func (b *Bus) flushRingToSpill() {
+	if b.spillErr != nil {
+		b.spilled += uint64(b.n)
+		return
+	}
+	if err := writeSpill(b.spill, b.orderedRing()); err != nil {
+		b.spillErr = err
+	}
+	b.spilled += uint64(b.n)
+}
+
+// orderedRing returns the ring's events oldest-first. The returned
+// slice aliases internal storage when no wrap occurred.
+func (b *Bus) orderedRing() []Event {
+	if b.start == 0 {
+		return b.ring
+	}
+	out := make([]Event, 0, b.n)
+	out = append(out, b.ring[b.start:]...)
+	out = append(out, b.ring[:b.start]...)
+	return out
+}
+
+// Events returns the buffered events in emission order. When a spill
+// writer is configured the returned slice holds only events since the
+// last spill; call Flush first to push everything to the writer
+// instead. The slice is a copy and remains valid after further emits.
+func (b *Bus) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	ord := b.orderedRing()
+	out := make([]Event, len(ord))
+	copy(out, ord)
+	return out
+}
+
+// Flush writes any buffered events to the spill writer (no-op when no
+// spill is configured) and returns the first write error encountered
+// over the bus's lifetime.
+func (b *Bus) Flush() error {
+	if b == nil {
+		return nil
+	}
+	if b.spill != nil && b.n > 0 {
+		b.flushRingToSpill()
+		b.ring = b.ring[:0]
+		b.n = 0
+		b.start = 0
+	}
+	return b.spillErr
+}
+
+// Len returns the number of buffered (unspilled) events.
+func (b *Bus) Len() int {
+	if b == nil {
+		return 0
+	}
+	return b.n
+}
+
+// Dropped returns how many events were overwritten because the ring
+// filled with no spill writer configured.
+func (b *Bus) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.dropped
+}
+
+// Spilled returns how many events were written to the spill writer.
+func (b *Bus) Spilled() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.spilled
+}
+
+// Seq returns the total number of events emitted over the bus's
+// lifetime (including spilled and dropped ones).
+func (b *Bus) Seq() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.seq
+}

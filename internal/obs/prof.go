@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileConfig carries the standard profiling flags shared by every
+// CLI in this repo: CPU/heap profiles written on exit and an optional
+// live pprof HTTP endpoint.
+type ProfileConfig struct {
+	CPUProfile string
+	MemProfile string
+	PprofAddr  string
+}
+
+// RegisterFlags installs -cpuprofile, -memprofile and -pprof on fs.
+func (pc *ProfileConfig) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&pc.CPUProfile, "cpuprofile", "", "write CPU profile to `file`")
+	fs.StringVar(&pc.MemProfile, "memprofile", "", "write heap profile to `file` on exit")
+	fs.StringVar(&pc.PprofAddr, "pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060)")
+}
+
+// Start begins profiling per the config and returns a stop function to
+// defer; stop finalizes the CPU profile and writes the heap profile.
+// A zero config yields a no-op stop.
+func (pc *ProfileConfig) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if pc.CPUProfile != "" {
+		cpuFile, err = os.Create(pc.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: starting cpu profile: %w", err)
+		}
+	}
+	if pc.PprofAddr != "" {
+		addr := pc.PprofAddr
+		go func() {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: pprof server: %v\n", err)
+			}
+		}()
+	}
+	memPath := pc.MemProfile
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "obs: creating mem profile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: writing mem profile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

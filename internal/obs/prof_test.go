@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileConfigZeroIsNoop(t *testing.T) {
+	var pc ProfileConfig
+	stop, err := pc.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // must be safe to call
+}
+
+func TestProfileConfigWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	pc := ProfileConfig{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+	}
+	stop, err := pc.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	for _, p := range []string{pc.CPUProfile, pc.MemProfile} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestProfileConfigBadPath(t *testing.T) {
+	pc := ProfileConfig{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu")}
+	if _, err := pc.Start(); err == nil {
+		t.Fatal("Start succeeded with an uncreatable cpu profile path")
+	}
+}
+
+func TestProfileConfigRegisterFlags(t *testing.T) {
+	var pc ProfileConfig
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	pc.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "a", "-memprofile", "b", "-pprof", "localhost:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if pc.CPUProfile != "a" || pc.MemProfile != "b" || pc.PprofAddr != "localhost:0" {
+		t.Fatalf("parsed = %+v", pc)
+	}
+}

@@ -1,0 +1,226 @@
+// Package obscli is the command-line glue for the observability layer:
+// the -obs-* flag set shared by shredsim and experiments, per-run event
+// and epoch capture as plain values (channel-safe across the sweep worker
+// pool), and the deterministic merge that writes one Chrome trace / epoch
+// CSV for a whole sweep.
+//
+// The determinism contract mirrors the sweep engine's: each worker owns a
+// private bus and sampler, captures cross back by value, and the merge
+// orders runs by submission index — so the exported artifacts are
+// byte-identical for any -parallel value.
+package obscli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"silentshredder/internal/obs"
+	"silentshredder/internal/sim"
+	"silentshredder/internal/stats"
+)
+
+// Flags is the observability flag set. Zero value = everything disabled,
+// which is the byte-identical-default-output path.
+type Flags struct {
+	// Trace is the event-trace output file. Empty disables event
+	// collection. A ".json" suffix selects the Chrome trace_event format
+	// (load in chrome://tracing or Perfetto); anything else writes the
+	// compact binary spill format (decode with obs.DecodeSpill).
+	Trace string
+	// Ring is the per-run event ring capacity.
+	Ring int
+	// Epoch is the sampling interval in machine cycles; 0 disables the
+	// epoch time series.
+	Epoch uint64
+	// EpochOut is the epoch series output file ("-" = stdout; ".json"
+	// selects JSON rows, anything else CSV).
+	EpochOut string
+}
+
+// Register installs the -obs-* flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Trace, "obs-trace", "", "write the machine event trace to this file (.json = Chrome trace_event for chrome://tracing, otherwise binary spill)")
+	fs.IntVar(&f.Ring, "obs-ring", obs.DefaultRingCap, "per-run event ring capacity for -obs-trace (oldest events drop past this)")
+	fs.Uint64Var(&f.Epoch, "obs-epoch", 0, "sample every registered statistic each N machine cycles into a time series (0 = off)")
+	fs.StringVar(&f.EpochOut, "obs-epoch-out", "-", "epoch time-series output for -obs-epoch: \"-\" = stdout, .json = JSON, otherwise CSV")
+}
+
+// Enabled reports whether any observability capture is requested.
+func (f *Flags) Enabled() bool { return f.Trace != "" || f.Epoch > 0 }
+
+// NewBus returns a fresh per-run event bus, or nil when tracing is off.
+// Call once per run (per sweep worker job) so event order stays
+// deterministic under parallel sweeps.
+func (f *Flags) NewBus() *obs.Bus {
+	if f.Trace == "" {
+		return nil
+	}
+	return obs.NewBus(obs.Config{RingCap: f.Ring})
+}
+
+// Capture is one run's observability output as plain values: safe to
+// return from a sweep worker and merge on the collector side.
+type Capture struct {
+	Name   string
+	Events []obs.Event
+	Epochs []stats.Epoch
+	Extra  []string // tracked-histogram column names (sampler ExtraNames)
+}
+
+// Capture extracts the run's events and epoch series from the machine
+// the worker just ran. bus must be the one NewBus returned for this run.
+func (f *Flags) Capture(name string, bus *obs.Bus, m *sim.Machine) Capture {
+	c := Capture{Name: name}
+	if bus != nil {
+		c.Events = bus.Events()
+	}
+	if s := m.Sampler(); s != nil {
+		c.Epochs = s.Epochs()
+		c.Extra = s.ExtraNames()
+	}
+	return c
+}
+
+// DefaultColumns is the exported epoch column set: the time-resolved
+// telling of the paper's story — shred traffic and the writes it avoids,
+// zero-fill read short-circuits, counter-cache hit rate, and (when ECC is
+// on) wear-out retirements. extra is the sampler's ExtraNames (tracked
+// histogram quantiles), appended in order.
+func DefaultColumns(extra []string) []stats.EpochColumn {
+	cols := []stats.EpochColumn{
+		stats.PathColumn("memctrl.shred_commands"),
+		stats.PathColumn("memctrl.writes_avoided"),
+		stats.DeltaColumn("memctrl.writes_avoided"),
+		stats.PathColumn("memctrl.zero_fill_reads"),
+		stats.RatioColumn("ctrcache.hit_rate", "ctrcache.hits", "ctrcache.hits", "ctrcache.misses"),
+		stats.PathColumn("memctrl.lines_retired"),
+	}
+	for i, name := range extra {
+		cols = append(cols, stats.ExtraColumn(name, i))
+	}
+	return cols
+}
+
+// Write renders the merged artifacts for the captures of one sweep, in
+// order. It is a no-op for disabled flags.
+func (f *Flags) Write(captures []Capture) error {
+	if f.Trace != "" {
+		if err := f.writeTrace(captures); err != nil {
+			return err
+		}
+	}
+	if f.Epoch > 0 {
+		if err := f.writeEpochs(captures); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Flags) writeTrace(captures []Capture) error {
+	out, err := os.Create(f.Trace)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if strings.HasSuffix(f.Trace, ".json") {
+		runs := make([]obs.TraceRun, len(captures))
+		for i, c := range captures {
+			runs[i] = obs.TraceRun{Name: c.Name, Events: c.Events}
+		}
+		if err := obs.WriteChromeTrace(out, runs); err != nil {
+			return err
+		}
+	} else {
+		// Binary spill: one header+records section per run; the decoder
+		// accepts the concatenation.
+		for _, c := range captures {
+			if err := obs.EncodeSpill(out, c.Events); err != nil {
+				return err
+			}
+		}
+	}
+	return out.Close()
+}
+
+func (f *Flags) writeEpochs(captures []Capture) error {
+	var w io.Writer = os.Stdout
+	var file *os.File
+	if f.EpochOut != "-" && f.EpochOut != "" {
+		var err error
+		file, err = os.Create(f.EpochOut)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	// Columns come from the first run with tracked-histogram names; all
+	// runs of one sweep share a machine configuration, so the sets agree.
+	var extra []string
+	for _, c := range captures {
+		if len(c.Extra) > 0 {
+			extra = c.Extra
+			break
+		}
+	}
+	cols := DefaultColumns(extra)
+	if strings.HasSuffix(f.EpochOut, ".json") {
+		if err := writeEpochJSON(w, captures, cols); err != nil {
+			return err
+		}
+	} else {
+		if err := stats.EpochCSVHeader(w, cols); err != nil {
+			return err
+		}
+		for _, c := range captures {
+			if err := stats.EpochCSVRows(w, c.Name, c.Epochs, cols); err != nil {
+				return err
+			}
+		}
+	}
+	if file != nil {
+		return file.Close()
+	}
+	return nil
+}
+
+// writeEpochJSON merges every run into one JSON array (stats.EpochJSON
+// writes one array per call, which would not concatenate validly).
+func writeEpochJSON(w io.Writer, captures []Capture, cols []stats.EpochColumn) error {
+	ew := &errWriter{w: w}
+	ew.str("[\n")
+	first := true
+	for _, c := range captures {
+		for i, ep := range c.Epochs {
+			if !first {
+				ew.str(",\n")
+			}
+			first = false
+			ew.str(fmt.Sprintf("  {\"run\":%q,\"epoch\":%d,\"cycles\":%d", c.Name, ep.Index, ep.Cycles))
+			for _, col := range cols {
+				ew.str(fmt.Sprintf(",%q:%s", col.Name,
+					strconv.FormatFloat(col.Value(i, c.Epochs), 'g', 6, 64)))
+			}
+			ew.str("}")
+		}
+	}
+	ew.str("\n]\n")
+	return ew.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) str(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}

@@ -1,0 +1,205 @@
+package obscli
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"silentshredder/internal/exper"
+	"silentshredder/internal/kernel"
+	"silentshredder/internal/memctrl"
+	"silentshredder/internal/obs"
+	"silentshredder/internal/stats"
+)
+
+// sweepArtifacts runs the quick two-workload sweep at the given -parallel
+// value — each worker job owning a private bus, captures merged in
+// submission index order through the real Write path — and returns the
+// bytes of the Chrome trace and epoch CSV it produced.
+func sweepArtifacts(t *testing.T, parallel int) (trace, epochs []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	f := Flags{
+		Trace:    filepath.Join(dir, "trace.json"),
+		Ring:     obs.DefaultRingCap,
+		Epoch:    1 << 16,
+		EpochOut: filepath.Join(dir, "epochs.csv"),
+	}
+	o := exper.Options{Cores: 2, Scale: 64, Quick: true, Parallel: parallel}
+	names := []string{"pagerank", "kvstore"}
+
+	caps := exper.RunIndexed(parallel, len(names), func(i int) Capture {
+		bus := f.NewBus()
+		m, err := exper.RunWorkloadTweaked(o, names[i], memctrl.SilentShredder, kernel.ZeroShred,
+			exper.MachineTweaks{Bus: bus, EpochEvery: f.Epoch})
+		if err != nil {
+			t.Errorf("run %s: %v", names[i], err)
+			return Capture{Name: names[i]}
+		}
+		return f.Capture(names[i], bus, m)
+	})
+	if err := f.Write(caps); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := os.ReadFile(f.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs, err = os.ReadFile(f.EpochOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace, epochs
+}
+
+// TestParallelSweepArtifactsDeterministic is the observability half of the
+// sweep engine's determinism contract: the merged Chrome trace and epoch
+// CSV must be byte-identical for any -parallel value.
+func TestParallelSweepArtifactsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full quick workloads")
+	}
+	trace1, epochs1 := sweepArtifacts(t, 1)
+	trace4, epochs4 := sweepArtifacts(t, 4)
+	if !bytes.Equal(trace1, trace4) {
+		t.Errorf("Chrome trace differs between -parallel=1 (%d bytes) and -parallel=4 (%d bytes)",
+			len(trace1), len(trace4))
+	}
+	if !bytes.Equal(epochs1, epochs4) {
+		t.Errorf("epoch CSV differs between -parallel=1 and -parallel=4:\n--- p1 ---\n%s--- p4 ---\n%s",
+			epochs1, epochs4)
+	}
+
+	// The artifacts must actually contain both runs' data, or the equality
+	// above is vacuous.
+	for _, name := range []string{"pagerank", "kvstore"} {
+		if !bytes.Contains(trace1, []byte(name)) {
+			t.Errorf("trace missing run %q", name)
+		}
+		if !bytes.Contains(epochs1, []byte(name)) {
+			t.Errorf("epoch CSV missing run %q", name)
+		}
+	}
+	header, _, _ := strings.Cut(string(epochs1), "\n")
+	for _, col := range []string{"memctrl.shred_commands", "ctrcache.hit_rate", "memctrl.lines_retired"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("epoch CSV header missing column %q: %s", col, header)
+		}
+	}
+}
+
+func TestFlagsDisabledIsInert(t *testing.T) {
+	var f Flags
+	if f.Enabled() {
+		t.Fatal("zero Flags reports enabled")
+	}
+	if f.NewBus() != nil {
+		t.Fatal("disabled Flags allocates a bus")
+	}
+	// Write with everything off must not create files or touch stdout.
+	if err := f.Write([]Capture{{Name: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagsRegisterDefaults(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Ring != obs.DefaultRingCap || f.EpochOut != "-" || f.Trace != "" || f.Epoch != 0 {
+		t.Fatalf("defaults = %+v", f)
+	}
+	if err := fs.Parse([]string{"-obs-trace", "t.json", "-obs-epoch", "500"}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Enabled() || f.Epoch != 500 {
+		t.Fatalf("parsed = %+v", f)
+	}
+}
+
+func TestSpillTraceWriteRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{Trace: filepath.Join(dir, "trace.bin"), Ring: 64}
+	caps := []Capture{
+		{Name: "a", Events: []obs.Event{{Seq: 0, TS: 10, Kind: obs.EvShred, Addr: 0x40}}},
+		{Name: "b", Events: []obs.Event{{Seq: 0, TS: 20, Kind: obs.EvCtrMiss, Core: 1}}},
+	}
+	if err := f.Write(caps); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(f.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.DecodeSpill(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].Kind != obs.EvShred || evs[1].Kind != obs.EvCtrMiss {
+		t.Fatalf("decoded %+v", evs)
+	}
+}
+
+// TestEpochJSONOutput drives the .json epoch sink: the merged rows of a
+// multi-run sweep must form one valid JSON array with run labels.
+func TestEpochJSONOutput(t *testing.T) {
+	epochsOf := func(run string, add uint64) Capture {
+		var c stats.Counter
+		set := stats.NewSet("memctrl")
+		set.RegisterCounter("shred_commands", &c)
+		reg := &stats.Registry{}
+		reg.Register(set)
+		s := stats.NewEpochSampler(reg, 100)
+		c.Add(add)
+		s.Tick(100)
+		c.Add(add)
+		s.Finish(150)
+		return Capture{Name: run, Epochs: s.Epochs()}
+	}
+	dir := t.TempDir()
+	f := Flags{Epoch: 100, EpochOut: filepath.Join(dir, "epochs.json")}
+	if err := f.Write([]Capture{epochsOf("a", 3), epochsOf("b", 5)}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(f.EpochOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatalf("epoch JSON does not parse: %v\n%s", err, raw)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 runs x 2 epochs)", len(rows))
+	}
+	if rows[0]["run"] != "a" || rows[2]["run"] != "b" {
+		t.Fatalf("run labels = %v, %v", rows[0]["run"], rows[2]["run"])
+	}
+	if got := rows[3]["memctrl.shred_commands"]; got != float64(10) {
+		t.Fatalf("final b shred_commands = %v, want 10", got)
+	}
+}
+
+func TestDefaultColumnsAppendExtras(t *testing.T) {
+	cols := DefaultColumns([]string{"lat_p50", "lat_p99"})
+	var names []string
+	for _, c := range cols {
+		names = append(names, c.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"memctrl.shred_commands", "ctrcache.hit_rate", "lat_p50", "lat_p99"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("columns missing %q: %s", want, joined)
+		}
+	}
+	if names[len(names)-1] != "lat_p99" {
+		t.Errorf("extras not appended in order: %s", joined)
+	}
+}

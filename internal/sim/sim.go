@@ -15,6 +15,7 @@ import (
 	"silentshredder/internal/kernel"
 	"silentshredder/internal/memctrl"
 	"silentshredder/internal/nvm"
+	"silentshredder/internal/obs"
 	"silentshredder/internal/physmem"
 	"silentshredder/internal/stats"
 	"silentshredder/internal/wearlevel"
@@ -58,6 +59,18 @@ type Config struct {
 	// architectural image, which is exactly the event ECC exists to
 	// handle, not a simulator bug.
 	Faults fault.Config
+
+	// Bus, when non-nil, is the observability event bus every component
+	// emits into (see internal/obs). The machine does not create one
+	// itself: the caller owns its lifetime (and, under the parallel
+	// sweep engine, creates one per worker machine). Nil — the default —
+	// costs nothing anywhere.
+	Bus *obs.Bus
+
+	// EpochEvery, when > 0, samples every registered statistic each
+	// EpochEvery machine cycles into a time series (see
+	// stats.EpochSampler and Machine.Sampler). 0 disables sampling.
+	EpochEvery uint64
 }
 
 // Table1Config returns the paper's full Table 1 machine: 8 cores at 2GHz,
@@ -117,7 +130,11 @@ type Machine struct {
 	// otherwise.
 	Injector *fault.Injector
 
+	// Bus is the observability event bus (nil when disabled).
+	Bus *obs.Bus
+
 	checker *Checker
+	sampler *stats.EpochSampler
 }
 
 // New builds a machine from cfg.
@@ -183,6 +200,19 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.CheckOracle {
 		m.checker = newChecker(m, cfg.CheckEvery)
 	}
+	if cfg.Bus != nil {
+		m.Bus = cfg.Bus
+		mc.SetBus(cfg.Bus) // propagates to counter cache and Merkle tree
+		h.SetBus(cfg.Bus)
+		k.SetBus(cfg.Bus)
+		if inj != nil {
+			inj.SetBus(cfg.Bus)
+		}
+	}
+	if cfg.EpochEvery > 0 {
+		m.sampler = stats.NewEpochSampler(m.Registry(), cfg.EpochEvery)
+		m.sampler.TrackHistogram("memctrl_read_latency", mc.ReadLatencyHistogram(), []float64{0.5, 0.99})
+	}
 	return m, nil
 }
 
@@ -207,7 +237,26 @@ func (m *Machine) RuntimeFor(core int, p *kernel.Process) *apprt.Runtime {
 	if m.checker != nil {
 		rt.SetChecker(m.checker.forProcess(p))
 	}
+	if m.Bus != nil || m.sampler != nil {
+		c := m.Cores[core]
+		bus, sampler := m.Bus, m.sampler
+		rt.SetObsHook(func() {
+			cyc := uint64(c.Cycles())
+			bus.SetNow(core, cyc)
+			sampler.Tick(cyc)
+		})
+	}
 	return rt
+}
+
+// Sampler returns the epoch time-series sampler (nil when disabled).
+func (m *Machine) Sampler() *stats.EpochSampler { return m.sampler }
+
+// ObsFinish finalizes observability state at the end of a run: it takes
+// a last epoch sample at the machine's final time so end-of-run totals
+// are always represented. Safe to call with observability disabled.
+func (m *Machine) ObsFinish() {
+	m.sampler.Finish(m.MaxCycles())
 }
 
 // TotalInstructions sums retired instructions across cores.
@@ -265,6 +314,11 @@ func (m *Machine) ResetStats() {
 	m.Kernel.ResetStats()
 	if m.Injector != nil {
 		m.Injector.ResetStats()
+	}
+	for i := 0; i < m.Cfg.Hier.Cores; i++ {
+		// The per-core TLB stats are part of the registry (tlb0..tlbN), so
+		// a measurement-phase reset must cover them too.
+		m.Kernel.TLB(i).ResetStats()
 	}
 }
 

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(100) // bucket upper bound 128
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 128 {
+			t.Errorf("single-sample Quantile(%v) = %v, want 128", q, got)
+		}
+	}
+	if h.Quantile(1) < h.Max() {
+		t.Fatal("Quantile(1) < Max")
+	}
+}
+
+func TestQuantileEdgeArguments(t *testing.T) {
+	var h Histogram
+	h.Observe(1)    // bucket 0, bound 1
+	h.Observe(1000) // bucket 10, bound 1024
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Fatalf("Quantile(NaN) = %v, want 0", got)
+	}
+	if got := h.Quantile(-0.5); got != 1 {
+		t.Fatalf("Quantile(q<0) = %v, want smallest bucket bound 1", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0) = %v, want 1", got)
+	}
+	if got := h.Quantile(1); got != 1024 {
+		t.Fatalf("Quantile(1) = %v, want 1024", got)
+	}
+	if got := h.Quantile(2); got != 1024 {
+		t.Fatalf("Quantile(q>1) = %v, want 1024", got)
+	}
+}
+
+// TestQuantilesMatchesQuantile pins the batch accessor to the
+// per-element definition, including unsorted and repeated q's and NaN.
+func TestQuantilesMatchesQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var h Histogram
+	qs := []float64{0.99, 0.5, math.NaN(), 0, 1, 0.5, 0.123, -1, 2}
+	check := func() {
+		t.Helper()
+		got := h.Quantiles(qs)
+		if len(got) != len(qs) {
+			t.Fatalf("len = %d", len(got))
+		}
+		for i, q := range qs {
+			want := h.Quantile(q)
+			if got[i] != want {
+				t.Errorf("Quantiles[%d] (q=%v) = %v, want %v", i, q, got[i], want)
+			}
+		}
+	}
+	check() // empty
+	for i := 0; i < 500; i++ {
+		h.Observe(math.Exp(rng.Float64() * 12)) // spread over many buckets
+		if i%37 == 0 {
+			check()
+		}
+	}
+	check()
+}
+
+func TestQuantilesEmptyInput(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	if got := h.Quantiles(nil); len(got) != 0 {
+		t.Fatalf("Quantiles(nil) = %v", got)
+	}
+}

@@ -110,16 +110,37 @@ func (h *Histogram) Mean() float64 {
 // Max returns the largest observed sample.
 func (h *Histogram) Max() float64 { return h.max }
 
-// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) using
-// the bucket boundaries.
+// Quantile returns an upper bound for the q-quantile using the bucket
+// boundaries. Edge cases are defined as follows:
+//   - an empty histogram returns 0 for every q;
+//   - a NaN q returns 0;
+//   - q <= 0 returns the upper bound of the smallest sample's bucket;
+//   - q >= 1 returns the upper bound of the largest sample's bucket
+//     (so Quantile(1) >= Max() always holds);
+//   - a single-observation histogram returns that sample's bucket upper
+//     bound for every q in [0, 1].
 func (h *Histogram) Quantile(q float64) float64 {
-	if h.total == 0 {
+	if h.total == 0 || math.IsNaN(q) {
+		return 0
+	}
+	return h.quantileTarget(h.quantileRank(q))
+}
+
+// quantileRank converts q to the 0-based sample rank Quantile resolves.
+func (h *Histogram) quantileRank(q float64) uint64 {
+	if q <= 0 {
 		return 0
 	}
 	target := uint64(q * float64(h.total))
 	if target >= h.total {
 		target = h.total - 1
 	}
+	return target
+}
+
+// quantileTarget returns the bucket upper bound containing the sample
+// of the given 0-based rank.
+func (h *Histogram) quantileTarget(target uint64) float64 {
 	var seen uint64
 	for i, n := range h.buckets {
 		seen += n
@@ -128,6 +149,46 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 	}
 	return h.max
+}
+
+// Quantiles returns the Quantile value for each q in qs in one bucket
+// pass (the epoch sampler calls this every sampling boundary). The
+// result matches calling Quantile per element exactly.
+func (h *Histogram) Quantiles(qs []float64) []float64 {
+	out := make([]float64, len(qs))
+	if h.total == 0 {
+		return out
+	}
+	// Resolve ranks, then walk the buckets once, answering queries in
+	// rank order.
+	type query struct {
+		rank uint64
+		idx  int
+	}
+	queries := make([]query, 0, len(qs))
+	for i, q := range qs {
+		if math.IsNaN(q) {
+			continue // out[i] stays 0
+		}
+		queries = append(queries, query{rank: h.quantileRank(q), idx: i})
+	}
+	sort.Slice(queries, func(a, b int) bool { return queries[a].rank < queries[b].rank })
+	var seen uint64
+	qi := 0
+	for i, n := range h.buckets {
+		seen += n
+		for qi < len(queries) && seen > queries[qi].rank {
+			out[queries[qi].idx] = math.Pow(2, float64(i))
+			qi++
+		}
+		if qi == len(queries) {
+			break
+		}
+	}
+	for ; qi < len(queries); qi++ {
+		out[queries[qi].idx] = h.max
+	}
+	return out
 }
 
 // Set is an ordered collection of named statistics owned by one component.
