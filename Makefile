@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race faults obs fuzz cover bench quick-experiments experiments examples clean
+.PHONY: all build test vet race faults obs fuzz cover bench bench-json bench-compare bench-smoke quick-experiments experiments examples clean
 
 all: build vet test race
 
@@ -27,7 +27,7 @@ test:
 # oracle-checked short workload sweeps (exper.TestCheckedWorkloadSweeps
 # and the sim/oracle differential tests), so every merge re-validates the
 # architectural contract under -race.
-race: vet faults obs
+race: vet faults obs bench-smoke
 	$(GO) test -race ./...
 
 # Robustness gate, folded into tier-1 `race`: the fault-injection and
@@ -60,6 +60,7 @@ fuzz:
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzTraceCodec -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/oracle -run='^$$' -fuzz=FuzzOracleDifferential -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzCrashRecovery -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/ctr -run='^$$' -fuzz=FuzzPadEquivalence -fuzztime=$(FUZZTIME)
 
 # Coverage over all packages; prints the per-function summary tail and
 # leaves cover.out for `go tool cover -html=cover.out`. The recorded
@@ -72,8 +73,39 @@ cover:
 test-record:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 
+# Benchmark pipeline. `bench` runs every benchmark (no unit tests),
+# records the raw text, and converts it into the committed trajectory
+# snapshot $(BENCH_JSON). The old `... | tee bench_output.txt` recipe
+# masked benchmark failures behind tee's exit status; writing the file
+# directly and catting it afterwards preserves both the transcript and
+# the exit code.
+BENCH_JSON ?= BENCH_6.json
 bench:
-	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+	$(GO) test -bench=. -benchmem -run='^$$' ./... > bench_output.txt 2>&1 \
+		|| { cat bench_output.txt; exit 1; }
+	@cat bench_output.txt
+	$(GO) run ./cmd/benchjson -in bench_output.txt -out $(BENCH_JSON)
+
+# Convert an existing bench_output.txt into $(BENCH_JSON) without
+# rerunning the benchmarks (runs them first if no transcript exists).
+bench-json:
+	@test -f bench_output.txt || $(MAKE) bench
+	$(GO) run ./cmd/benchjson -in bench_output.txt -out $(BENCH_JSON)
+
+# Diff two benchmark snapshots; fails on any ns/op regression past
+# THRESHOLD (ratio) or any allocs/op increase.
+#   make bench-compare BASE=BENCH_5.json NEW=BENCH_6.json [THRESHOLD=1.30]
+BASE ?= BENCH_6.json
+NEW ?= bench_new.json
+THRESHOLD ?= 1.30
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare -threshold $(THRESHOLD) $(BASE) $(NEW)
+
+# Smoke variant folded into tier-1 `race`: every benchmark runs exactly
+# one iteration, catching panics and b.Fatal conditions (empty sweeps,
+# missing figure points) without paying for timing-quality runs.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > /dev/null
 
 # Fast smoke pass over every experiment (~1 minute sequential; scales
 # down with -parallel, which defaults to GOMAXPROCS).
@@ -94,4 +126,4 @@ examples:
 	$(GO) run ./examples/persistent
 
 clean:
-	rm -f test_output.txt bench_output.txt cover.out
+	rm -f test_output.txt bench_output.txt bench_new.json cover.out

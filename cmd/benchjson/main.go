@@ -1,0 +1,267 @@
+// Command benchjson converts `go test -bench` output into the committed
+// BENCH_<n>.json trajectory format and compares two such files for
+// regressions. It is self-contained on purpose: the repo pins its
+// benchmark baseline without external tooling (no benchstat), so the
+// comparison gate runs anywhere the Go toolchain does.
+//
+//	benchjson -in bench_output.txt -out BENCH_6.json
+//	benchjson -compare BENCH_5.json BENCH_6.json -threshold 1.30
+//
+// Convert mode parses every benchmark result line (including custom
+// b.ReportMetric columns) plus the pkg: headers, and stamps the file
+// with a machine fingerprint (GOOS/GOARCH/CPU count/CPU model/Go
+// version) so trajectory files from different hosts are never compared
+// silently. Compare mode diffs ns/op for benchmarks present in both
+// files and exits nonzero if any regresses past the threshold ratio;
+// alloc counts are compared exactly (a new steady-state allocation is a
+// regression at any magnitude).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// File is the persisted benchmark snapshot.
+type File struct {
+	Schema     string      `json:"schema"`
+	GoVersion  string      `json:"go_version"`
+	Machine    Machine     `json:"machine"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Machine fingerprints the host the numbers came from.
+type Machine struct {
+	GOOS     string `json:"goos"`
+	GOARCH   string `json:"goarch"`
+	NumCPU   int    `json:"num_cpu"`
+	CPUModel string `json:"cpu_model,omitempty"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string             `json:"name"`    // e.g. BenchmarkPadInto-8
+	Package     string             `json:"package"` // e.g. silentshredder/internal/ctr
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	MBPerS      *float64           `json:"mb_per_s,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // custom b.ReportMetric units
+}
+
+func main() {
+	in := flag.String("in", "bench_output.txt", "benchmark output to convert (`go test -bench` text)")
+	out := flag.String("out", "", "write the JSON snapshot here (convert mode)")
+	compare := flag.Bool("compare", false, "compare two snapshot files given as positional args")
+	threshold := flag.Float64("threshold", 1.30, "compare: fail when new ns/op exceeds old by this ratio")
+	flag.Parse()
+
+	switch {
+	case *compare:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare OLD.json NEW.json [-threshold R]")
+			os.Exit(2)
+		}
+		os.Exit(compareFiles(flag.Arg(0), flag.Arg(1), *threshold))
+	case *out != "":
+		if err := convert(*in, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchjson -in bench_output.txt -out BENCH_n.json | -compare OLD NEW")
+		os.Exit(2)
+	}
+}
+
+func convert(inPath, outPath string) error {
+	f, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	snap := File{
+		Schema:    "silentshredder-bench/v1",
+		GoVersion: runtime.Version(),
+		Machine: Machine{
+			GOOS:     runtime.GOOS,
+			GOARCH:   runtime.GOARCH,
+			NumCPU:   runtime.NumCPU(),
+			CPUModel: cpuModel(),
+		},
+	}
+
+	pkg := ""
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		b.Package = pkg
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results found in %s", inPath)
+	}
+	sort.Slice(snap.Benchmarks, func(i, j int) bool {
+		a, b := snap.Benchmarks[i], snap.Benchmarks[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Name < b.Name
+	})
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(snap.Benchmarks), outPath)
+	return nil
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName-8  100  123.4 ns/op  5.00 MB/s  16 B/op  2 allocs/op  0.97 write_savings
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	// The remainder alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = ptr(v)
+		case "allocs/op":
+			b.AllocsPerOp = ptr(v)
+		case "MB/s":
+			b.MBPerS = ptr(v)
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, b.NsPerOp > 0
+}
+
+func ptr(v float64) *float64 { return &v }
+
+// cpuModel extracts the CPU model string from /proc/cpuinfo (best
+// effort; empty on non-Linux hosts).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
+func load(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func compareFiles(oldPath, newPath string, threshold float64) int {
+	oldF, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newF, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	if oldF.Machine != newF.Machine {
+		fmt.Printf("note: machine fingerprints differ (%+v vs %+v); ns/op ratios are indicative only\n",
+			oldF.Machine, newF.Machine)
+	}
+
+	oldByKey := map[string]Benchmark{}
+	for _, b := range oldF.Benchmarks {
+		oldByKey[b.Package+" "+b.Name] = b
+	}
+
+	regressions := 0
+	compared := 0
+	for _, nb := range newF.Benchmarks {
+		ob, ok := oldByKey[nb.Package+" "+nb.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		ratio := nb.NsPerOp / ob.NsPerOp
+		status := "ok"
+		switch {
+		case ratio > threshold:
+			status = "REGRESSION"
+			regressions++
+		case ratio < 1/threshold:
+			status = "improved"
+		}
+		fmt.Printf("%-60s %12.1f -> %12.1f ns/op  %.2fx  %s\n", nb.Name, ob.NsPerOp, nb.NsPerOp, ratio, status)
+		if ob.AllocsPerOp != nil && nb.AllocsPerOp != nil && *nb.AllocsPerOp > *ob.AllocsPerOp {
+			fmt.Printf("%-60s %12.0f -> %12.0f allocs/op        REGRESSION\n", nb.Name, *ob.AllocsPerOp, *nb.AllocsPerOp)
+			regressions++
+		}
+	}
+	fmt.Printf("compared %d benchmarks, %d regressions (threshold %.2fx)\n", compared, regressions, threshold)
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no overlapping benchmarks to compare")
+		return 2
+	}
+	if regressions > 0 {
+		return 1
+	}
+	return 0
+}

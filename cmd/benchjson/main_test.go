@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkPadInto-8   13528038    88.53 ns/op   722.94 MB/s   0 B/op   0 allocs/op")
+	if !ok {
+		t.Fatal("well-formed line must parse")
+	}
+	if b.Name != "BenchmarkPadInto-8" || b.Iterations != 13528038 || b.NsPerOp != 88.53 {
+		t.Fatalf("parsed %+v", b)
+	}
+	if b.MBPerS == nil || *b.MBPerS != 722.94 || b.BytesPerOp == nil || *b.BytesPerOp != 0 || b.AllocsPerOp == nil || *b.AllocsPerOp != 0 {
+		t.Fatalf("unit columns lost: %+v", b)
+	}
+
+	// Custom b.ReportMetric columns land in Metrics.
+	b, ok = parseLine("BenchmarkFig8-8   10   1200 ns/op   0.9700 write_savings")
+	if !ok || b.Metrics["write_savings"] != 0.97 {
+		t.Fatalf("custom metric lost: %+v ok=%v", b, ok)
+	}
+
+	for _, bad := range []string{
+		"BenchmarkX-8",                  // too few fields
+		"BenchmarkX-8 notanint 5 ns/op", // bad iteration count
+		"BenchmarkX-8 10 garbage ns/op", // bad value
+		"BenchmarkX-8 10 5 B/op",        // no ns/op at all
+		"goos: linux",                   // not a result line
+	} {
+		if _, ok := parseLine(bad); ok {
+			t.Errorf("parseLine(%q) must reject", bad)
+		}
+	}
+}
+
+func TestConvertAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	raw := write("bench.txt", `goos: linux
+pkg: silentshredder/internal/ctr
+BenchmarkPadInto-8   1000   100.0 ns/op   0 B/op   0 allocs/op
+BenchmarkCachedPadHit-8   2000   50.0 ns/op   0 B/op   0 allocs/op
+pkg: silentshredder/internal/nvm
+BenchmarkReadBlock-8   500   400.0 ns/op   0 B/op   0 allocs/op
+`)
+	base := filepath.Join(dir, "base.json")
+	if err := convert(raw, base); err != nil {
+		t.Fatal(err)
+	}
+	f, err := load(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != "silentshredder-bench/v1" || len(f.Benchmarks) != 3 {
+		t.Fatalf("snapshot = %+v", f)
+	}
+	// Sorted by package then name; packages must survive the round trip.
+	if f.Benchmarks[0].Package != "silentshredder/internal/ctr" || f.Benchmarks[0].Name != "BenchmarkCachedPadHit-8" {
+		t.Fatalf("first benchmark = %+v", f.Benchmarks[0])
+	}
+
+	// Identical files compare clean.
+	if code := compareFiles(base, base, 1.30); code != 0 {
+		t.Fatalf("self-compare exit = %d", code)
+	}
+
+	// A 2x ns/op slowdown and an alloc increase must both fail the gate.
+	slow := write("slow.txt", `pkg: silentshredder/internal/ctr
+BenchmarkPadInto-8   1000   200.0 ns/op   0 B/op   0 allocs/op
+BenchmarkCachedPadHit-8   2000   50.0 ns/op   16 B/op   1 allocs/op
+`)
+	slowJSON := filepath.Join(dir, "slow.json")
+	if err := convert(slow, slowJSON); err != nil {
+		t.Fatal(err)
+	}
+	if code := compareFiles(base, slowJSON, 1.30); code != 1 {
+		t.Fatalf("regression compare exit = %d, want 1", code)
+	}
+	// With a loose threshold the slowdown passes but the alloc increase
+	// must still fail: allocations are compared exactly.
+	if code := compareFiles(base, slowJSON, 3.0); code != 1 {
+		t.Fatalf("alloc regression exit = %d, want 1", code)
+	}
+
+	// Error paths: empty input, missing file, disjoint benchmark sets.
+	empty := write("empty.txt", "goos: linux\n")
+	if err := convert(empty, filepath.Join(dir, "e.json")); err == nil {
+		t.Fatal("empty transcript must error")
+	}
+	if code := compareFiles(base, filepath.Join(dir, "missing.json"), 1.30); code != 2 {
+		t.Fatal("missing file must exit 2")
+	}
+	other := write("other.txt", `pkg: elsewhere
+BenchmarkUnrelated-8   10   1.0 ns/op
+`)
+	otherJSON := filepath.Join(dir, "other.json")
+	if err := convert(other, otherJSON); err != nil {
+		t.Fatal(err)
+	}
+	if code := compareFiles(base, otherJSON, 1.30); code != 2 {
+		t.Fatal("no overlapping benchmarks must exit 2")
+	}
+}

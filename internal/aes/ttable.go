@@ -69,6 +69,21 @@ func (c *Cipher) Encrypt(dst, src []byte) {
 	dst[12], dst[13], dst[14], dst[15] = byte(o3>>24), byte(o3>>16), byte(o3>>8), byte(o3)
 }
 
+// EncryptBlocks encrypts len(src)/BlockSize consecutive 16-byte blocks
+// from src into dst through the T-table fast path. Counter-mode pad
+// generation uses it to produce all four chunks of a 64-byte block pad
+// in one call against one expanded key schedule. Partial trailing bytes
+// are ignored; dst must hold at least as many whole blocks as src.
+func (c *Cipher) EncryptBlocks(dst, src []byte) {
+	n := len(src) / BlockSize * BlockSize
+	if len(dst) < n {
+		panic("aes: dst shorter than src blocks")
+	}
+	for off := 0; off < n; off += BlockSize {
+		c.Encrypt(dst[off:off+BlockSize], src[off:off+BlockSize])
+	}
+}
+
 // EncryptRef is the byte-oriented reference implementation of the forward
 // cipher (SubBytes/ShiftRows/MixColumns/AddRoundKey exactly as FIPS-197
 // writes them). The tests cross-check Encrypt against it.

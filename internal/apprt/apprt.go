@@ -47,6 +47,13 @@ type Runtime struct {
 	// count) and take epoch samples. Like check, it is separate from
 	// trace so cooperative scheduling cannot displace it.
 	obsHook func()
+
+	// Per-runtime scratch buffers keep the per-block byte-shuffling paths
+	// allocation-free (a Runtime is single-threaded by construction).
+	pattern  [addr.BlockSize]byte // memset fill pattern
+	blockBuf [addr.BlockSize]byte // LoadBytes per-block staging
+	wordBuf  [8]byte              // Load/Store staging (a local would
+	// escape: the checker hook takes the slice through an interface)
 }
 
 // Checker observes a runtime's operations and validates its load results
@@ -188,12 +195,12 @@ func (rt *Runtime) Load(va addr.Virt) uint64 {
 	pa, klat := rt.k.Translate(rt.core, rt.proc, va, false)
 	lat := klat + rt.k.Hierarchy().Read(rt.core, pa)
 	rt.cpu.Load(lat)
-	var b [8]byte
-	rt.k.Controller().Image().Read(pa, b[:])
+	b := rt.wordBuf[:]
+	rt.k.Controller().Image().Read(pa, b)
 	if rt.check != nil {
-		rt.check.CheckLoad(va, b[:])
+		rt.check.CheckLoad(va, b)
 	}
-	return binary.LittleEndian.Uint64(b[:])
+	return binary.LittleEndian.Uint64(b)
 }
 
 // Store performs an 8-byte store.
@@ -201,9 +208,9 @@ func (rt *Runtime) Store(va addr.Virt, val uint64) {
 	rt.emit(TraceStore, va, val)
 	pa, klat := rt.k.Translate(rt.core, rt.proc, va, true)
 	rt.k.Hierarchy().Write(rt.core, pa)
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], val)
-	rt.k.Controller().Image().Write(pa, b[:])
+	b := rt.wordBuf[:]
+	binary.LittleEndian.PutUint64(b, val)
+	rt.k.Controller().Image().Write(pa, b)
 	if klat > 0 {
 		rt.cpu.Stall(klat) // page-fault / TLB-walk time
 	}
@@ -220,7 +227,7 @@ func (rt *Runtime) LoadBytes(va addr.Virt, n int) []byte {
 		pa, klat := rt.k.Translate(rt.core, rt.proc, blk+addr.Virt(off), false)
 		lat := klat + rt.k.Hierarchy().Read(rt.core, pa)
 		rt.cpu.Load(lat)
-		buf := make([]byte, cnt)
+		buf := rt.blockBuf[:cnt]
 		rt.k.Controller().Image().Read(pa, buf)
 		if rt.check != nil {
 			rt.check.CheckLoad(blk+addr.Virt(off), buf)
@@ -271,7 +278,7 @@ func (rt *Runtime) memset(va addr.Virt, b byte, n int, nonTemporal bool) {
 	}
 	rt.emit(TraceMemset, va, uint64(n)<<9|nt<<8|uint64(b))
 	img := rt.k.Controller().Image()
-	pattern := make([]byte, addr.BlockSize)
+	pattern := rt.pattern[:]
 	for i := range pattern {
 		pattern[i] = b
 	}

@@ -55,17 +55,44 @@ type Line struct {
 	Tag   uint64 // block address >> BlockShift
 	State State
 	Dirty bool
-	lru   uint64
 }
 
 // Addr returns the block address this line caches.
 func (l Line) Addr() addr.Phys { return addr.Phys(l.Tag) << addr.BlockShift }
 
+// invalidTag marks an empty way in the tag mirror. Real tags are block
+// addresses shifted right by BlockShift, far below this value.
+const invalidTag = ^uint64(0)
+
 // Cache is a set-associative tag store with true-LRU replacement.
+//
+// The store is laid out structure-of-arrays for probe locality: tags
+// holds one word per way (an 8-way set's tags fill exactly one 64-byte
+// hardware cache line) and lines holds the State/Dirty metadata callers
+// mutate through the pointers Lookup/Probe return. Invalid ways carry
+// invalidTag in the mirror, so the probe scan is a bare word compare
+// with no validity test. Both arrays are set-major (set i occupies
+// [i*assoc, (i+1)*assoc)). Only Cache methods change which block a way
+// holds, so the mirror cannot go stale.
+//
+// LRU order is a permutation, not a clock: for assoc <= 8 each set has
+// one rank word in which byte i holds way i's recency rank (0 = least,
+// assoc-1 = most recent; unused bytes are 0xff). Every touch moves a
+// way to the top rank, exactly the total order per-way clocks would
+// record, in one word-sized read-modify-write instead of a clock array
+// 8x the size. Wider caches fall back to per-way clocks. Hit/miss
+// outcomes, LRU order, victim choice and all statistics are identical
+// to the obvious array-of-structs scan under either scheme.
 type Cache struct {
 	cfg      Config
-	sets     [][]Line
+	tags     []uint64 // tag per way, invalidTag when empty
+	rank     []uint64 // assoc <= 8: one recency-rank word per set
+	lrus     []uint64 // assoc > 8: replacement clock per way
+	lines    []Line   // State/Dirty per way (Tag kept in sync for Addr)
+	assoc    int
 	setMask  uint64
+	bodyMask uint64 // rank-word bytes that correspond to real ways
+	initRank uint64 // rank word of a freshly reset set
 	useClock uint64
 
 	hits, misses, evictions, dirtyEvictions stats.Counter
@@ -81,50 +108,190 @@ func New(cfg Config) *Cache {
 	if bits.OnesCount(uint(nsets)) != 1 {
 		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, nsets))
 	}
-	sets := make([][]Line, nsets)
-	backing := make([]Line, nsets*cfg.Assoc)
-	for i := range sets {
-		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	if cfg.Assoc > 1<<16 {
+		panic(fmt.Sprintf("cache %s: associativity %d too large", cfg.Name, cfg.Assoc))
 	}
-	return &Cache{cfg: cfg, sets: sets, setMask: uint64(nsets - 1)}
+	tags := make([]uint64, nsets*cfg.Assoc)
+	for i := range tags {
+		tags[i] = invalidTag
+	}
+	c := &Cache{
+		cfg:     cfg,
+		tags:    tags,
+		lines:   make([]Line, nsets*cfg.Assoc),
+		assoc:   cfg.Assoc,
+		setMask: uint64(nsets - 1),
+	}
+	if cfg.Assoc <= 8 {
+		c.initRank = ^uint64(0)
+		for i := 0; i < cfg.Assoc; i++ {
+			c.initRank = c.initRank&^(0xff<<(8*uint(i))) | uint64(i)<<(8*uint(i))
+			c.bodyMask |= 0x80 << (8 * uint(i))
+		}
+		c.rank = make([]uint64, nsets)
+		for i := range c.rank {
+			c.rank[i] = c.initRank
+		}
+	} else {
+		c.lrus = make([]uint64, nsets*cfg.Assoc)
+	}
+	return c
+}
+
+// SWAR constants for the rank-word update: one set bit per byte lane.
+const (
+	rankLo = 0x0101010101010101
+	rankHi = 0x8080808080808080
+)
+
+// touch moves way i of set si to the top recency rank: every way ranked
+// above it slides down one, then way i takes rank assoc-1. This is the
+// move-to-front step of true LRU, done bit-parallel on the rank word.
+func (c *Cache) touch(si uint64, i int) {
+	if c.rank == nil {
+		c.useClock++
+		c.lrus[int(si)*c.assoc+i] = c.useClock
+		return
+	}
+	w := c.rank[si]
+	r := w >> (8 * uint(i)) & 0xff
+	// Per-byte b > r test: bit 7 of (b|0x80)-(r+1) is set iff b >= r+1
+	// (r+1 <= 8, so no cross-byte borrow). Restricted to real ways.
+	gt := ((w | rankHi) - (r+1)*rankLo) & c.bodyMask
+	w -= gt >> 7 // slide every higher-ranked way down one
+	w = w&^(0xff<<(8*uint(i))) | uint64(c.assoc-1)<<(8*uint(i))
+	c.rank[si] = w
+}
+
+// mruWay returns the most-recently-used way of set si (rank assoc-1),
+// from the same rank word a hit would have to touch anyway. Probing it
+// first exploits temporal locality: on an MRU hit the move-to-top is a
+// no-op, so the whole scan-and-touch collapses to one tag compare.
+func (c *Cache) mruWay(si uint64) int {
+	w := c.rank[si] ^ uint64(c.assoc-1)*rankLo
+	z := (w - rankLo) & ^w & c.bodyMask
+	return bits.TrailingZeros64(z) >> 3
+}
+
+// lruWay returns the least-recently-used way of set si, consulted only
+// when every way is valid. Ranks are a permutation, so exactly one real
+// way holds rank 0; the zero-byte scan finds it.
+func (c *Cache) lruWay(si uint64) int {
+	if c.rank == nil {
+		base := int(si) * c.assoc
+		vi := 0
+		for i := 1; i < c.assoc; i++ {
+			if c.lrus[base+i] < c.lrus[base+vi] {
+				vi = i
+			}
+		}
+		return vi
+	}
+	w := c.rank[si]
+	z := (w - rankLo) & ^w & c.bodyMask
+	return bits.TrailingZeros64(z) >> 3
 }
 
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
 // NumSets returns the number of sets.
-func (c *Cache) NumSets() int { return len(c.sets) }
-
-func (c *Cache) set(a addr.Phys) []Line {
-	return c.sets[(uint64(a)>>addr.BlockShift)&c.setMask]
-}
+func (c *Cache) NumSets() int { return len(c.lines) / c.assoc }
 
 func tagOf(a addr.Phys) uint64 { return uint64(a) >> addr.BlockShift }
+
+// probeWay returns the way index holding block a, or -1. The scan reads
+// only the tag mirror — one hardware cache line per 8-way set.
+func (c *Cache) probeWay(a addr.Phys) int {
+	tag := tagOf(a)
+	base := int(tag&c.setMask) * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	for i := range tags {
+		if tags[i] == tag {
+			return base + i
+		}
+	}
+	return -1
+}
 
 // Lookup finds the line caching block a, counting a hit or miss and
 // refreshing LRU order on a hit. It returns nil on a miss. The returned
 // pointer stays valid until the line is replaced; callers may update
 // State and Dirty through it.
 func (c *Cache) Lookup(a addr.Phys) *Line {
-	if l := c.Probe(a); l != nil {
-		c.hits.Inc()
-		c.useClock++
-		l.lru = c.useClock
-		return l
+	tag := tagOf(a)
+	si := tag & c.setMask
+	base := int(si) * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	if c.rank != nil {
+		if m := c.mruWay(si); tags[m] == tag {
+			c.hits.Inc()
+			return &c.lines[base+m]
+		}
+	}
+	for i := range tags {
+		if tags[i] == tag {
+			c.hits.Inc()
+			c.touch(si, i)
+			return &c.lines[base+i]
+		}
 	}
 	c.misses.Inc()
 	return nil
 }
 
+// LookupHit is Lookup for callers that only need the hit/miss outcome:
+// identical statistics and LRU refresh, but it never touches the line
+// metadata array (the shared-level lookups in the hierarchy's read and
+// write paths discard the line pointer).
+func (c *Cache) LookupHit(a addr.Phys) bool {
+	tag := tagOf(a)
+	si := tag & c.setMask
+	base := int(si) * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	if c.rank != nil {
+		if m := c.mruWay(si); tags[m] == tag {
+			c.hits.Inc()
+			return true
+		}
+	}
+	for i := range tags {
+		if tags[i] == tag {
+			c.hits.Inc()
+			c.touch(si, i)
+			return true
+		}
+	}
+	c.misses.Inc()
+	return false
+}
+
+// LookupOwned is the store fast path: it returns the line caching block
+// a only when this cache already owns it (Modified or Exclusive),
+// counting a hit and refreshing LRU exactly as Lookup would on that
+// line. In every other case no statistics change; present reports
+// whether the block was cached at all (in any state), saving the caller
+// a second probe.
+func (c *Cache) LookupOwned(a addr.Phys) (l *Line, present bool) {
+	w := c.probeWay(a)
+	if w < 0 {
+		return nil, false
+	}
+	l = &c.lines[w]
+	if l.State != Modified && l.State != Exclusive {
+		return nil, true
+	}
+	c.hits.Inc()
+	si := tagOf(a) & c.setMask
+	c.touch(si, w-int(si)*c.assoc)
+	return l, true
+}
+
 // Probe finds the line caching block a without touching statistics or LRU
 // order. Coherence-directory and invalidation paths use it.
 func (c *Cache) Probe(a addr.Phys) *Line {
-	tag := tagOf(a)
-	set := c.set(a)
-	for i := range set {
-		if set[i].State != Invalid && set[i].Tag == tag {
-			return &set[i]
-		}
+	if w := c.probeWay(a); w >= 0 {
+		return &c.lines[w]
 	}
 	return nil
 }
@@ -134,33 +301,41 @@ func (c *Cache) Probe(a addr.Phys) *Line {
 // writeback handling) and whether an eviction happened. Inserting a block
 // that is already present just updates its state.
 func (c *Cache) Insert(a addr.Phys, st State, dirty bool) (victim Line, evicted bool) {
-	if l := c.Probe(a); l != nil {
-		l.State = st
-		l.Dirty = l.Dirty || dirty
-		c.useClock++
-		l.lru = c.useClock
-		return Line{}, false
-	}
-	set := c.set(a)
-	vi := 0
-	for i := range set {
-		if set[i].State == Invalid {
-			vi = i
-			break
+	tag := tagOf(a)
+	si := tag & c.setMask
+	base := int(si) * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	// One fused pass: find the block if present, else the victim way —
+	// first invalid way in index order, otherwise least-recently-used.
+	// Identical outcomes to probing and then scanning separately.
+	vi, sawInvalid := -1, false
+	for i := range tags {
+		if tags[i] == tag {
+			w := base + i
+			l := &c.lines[w]
+			l.State = st
+			l.Dirty = l.Dirty || dirty
+			c.touch(si, i)
+			return Line{}, false
 		}
-		if set[i].lru < set[vi].lru {
-			vi = i
+		if !sawInvalid && tags[i] == invalidTag {
+			vi, sawInvalid = i, true
 		}
 	}
-	if set[vi].State != Invalid {
-		victim, evicted = set[vi], true
+	if !sawInvalid {
+		vi = c.lruWay(si)
+	}
+	w := base + vi
+	if tags[vi] != invalidTag {
+		victim, evicted = c.lines[w], true
 		c.evictions.Inc()
 		if victim.Dirty {
 			c.dirtyEvictions.Inc()
 		}
 	}
-	c.useClock++
-	set[vi] = Line{Tag: tagOf(a), State: st, Dirty: dirty, lru: c.useClock}
+	tags[vi] = tag
+	c.touch(si, vi)
+	c.lines[w] = Line{Tag: tag, State: st, Dirty: dirty}
 	return victim, evicted
 }
 
@@ -168,10 +343,10 @@ func (c *Cache) Insert(a addr.Phys, st State, dirty bool) (victim Line, evicted 
 // metadata (so the caller can decide about writeback) and whether it was
 // present.
 func (c *Cache) Invalidate(a addr.Phys) (Line, bool) {
-	if l := c.Probe(a); l != nil {
-		old := *l
-		l.State = Invalid
-		l.Dirty = false
+	if w := c.probeWay(a); w >= 0 {
+		old := c.lines[w]
+		c.tags[w] = invalidTag
+		c.lines[w] = Line{}
 		return old, true
 	}
 	return Line{}, false
@@ -189,18 +364,59 @@ func (c *Cache) InvalidatePage(p addr.PageNum) []Line {
 	return out
 }
 
+// InvalidatePageCount removes all 64 blocks of page p like InvalidatePage
+// but returns only how many were present, without allocating. The shred
+// path uses it: invalidated contents are dead, only the message count
+// matters for timing.
+func (c *Cache) InvalidatePageCount(p addr.PageNum) int {
+	const pageShift = addr.PageShift - addr.BlockShift
+	n := 0
+	if len(c.tags) <= addr.BlocksPerPage*c.assoc {
+		// The store is smaller than the page's probe footprint (64 set
+		// scans): one linear sweep over every way is cheaper and removes
+		// exactly the same lines. invalidTag>>pageShift can never equal a
+		// real page number, so no validity test is needed.
+		pn := uint64(p)
+		for i := range c.tags {
+			if c.tags[i]>>pageShift == pn {
+				c.tags[i] = invalidTag
+				c.lines[i] = Line{}
+				n++
+			}
+		}
+		return n
+	}
+	tag0 := uint64(p) << pageShift
+	for b := 0; b < addr.BlocksPerPage; b++ {
+		tag := tag0 + uint64(b)
+		base := int(tag&c.setMask) * c.assoc
+		tags := c.tags[base : base+c.assoc]
+		for i := range tags {
+			if tags[i] == tag {
+				tags[i] = invalidTag
+				c.lines[base+i] = Line{}
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
 // FlushAll invalidates every line, returning the dirty ones (their
 // addresses are recoverable via Line.Addr). Used to model crashes and
 // explicit cache flushes.
 func (c *Cache) FlushAll() []Line {
 	var dirty []Line
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].State != Invalid && set[i].Dirty {
-				dirty = append(dirty, set[i])
-			}
-			set[i] = Line{}
+	for i := range c.tags {
+		if c.tags[i] != invalidTag && c.lines[i].Dirty {
+			dirty = append(dirty, c.lines[i])
 		}
+		c.tags[i] = invalidTag
+		c.lines[i] = Line{}
+	}
+	for i := range c.rank {
+		c.rank[i] = c.initRank
 	}
 	return dirty
 }
@@ -208,11 +424,9 @@ func (c *Cache) FlushAll() []Line {
 // ForEachLine calls fn for every valid line, in set order. Invariant
 // sweeps use it; it touches neither statistics nor LRU state.
 func (c *Cache) ForEachLine(fn func(l *Line)) {
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].State != Invalid {
-				fn(&set[i])
-			}
+	for i := range c.tags {
+		if c.tags[i] != invalidTag {
+			fn(&c.lines[i])
 		}
 	}
 }

@@ -1,0 +1,165 @@
+package cache
+
+import (
+	"testing"
+
+	"silentshredder/internal/addr"
+)
+
+// The fast-path lookups (LookupHit, LookupOwned) and the counting page
+// invalidation must be behaviorally indistinguishable from the general
+// entry points they shortcut — same statistics, same LRU motion, same
+// resident set afterwards. These tests pin that equivalence directly,
+// in-package, so a future change to the SWAR rank machinery cannot
+// silently skew one path.
+
+func TestLookupHitMatchesLookup(t *testing.T) {
+	a := New(Config{Name: "a", Size: 1024, Assoc: 4})
+	b := New(Config{Name: "b", Size: 1024, Assoc: 4})
+	// Mixed hit/miss traffic: MRU re-hits, non-MRU hits (LRU refresh),
+	// and misses, all mirrored across the two instances.
+	seq := []addr.Phys{0x000, 0x000, 0x400, 0x000, 0x800, 0x400, 0xC00}
+	for _, ad := range seq {
+		got := a.LookupHit(ad)
+		want := b.Lookup(ad) != nil
+		if got != want {
+			t.Fatalf("LookupHit(%#x) = %v, Lookup = %v", ad, got, want)
+		}
+		if got {
+			continue
+		}
+		a.Insert(ad, Shared, false)
+		b.Insert(ad, Shared, false)
+	}
+	if a.Hits() != b.Hits() || a.Misses() != b.Misses() {
+		t.Fatalf("stats diverged: %d/%d vs %d/%d", a.Hits(), a.Misses(), b.Hits(), b.Misses())
+	}
+	// LRU state must match too: force evictions and compare victims.
+	va, ea := a.Insert(0x1000, Shared, false)
+	vb, eb := b.Insert(0x1000, Shared, false)
+	if ea != eb || va.Addr() != vb.Addr() {
+		t.Fatalf("victims diverged: %#x/%v vs %#x/%v", va.Addr(), ea, vb.Addr(), eb)
+	}
+}
+
+func TestLookupOwned(t *testing.T) {
+	c := tiny()
+
+	// Absent block: no line, not present, no statistics.
+	if l, present := c.LookupOwned(0x40); l != nil || present {
+		t.Fatalf("absent block: LookupOwned = %v, %v", l, present)
+	}
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatalf("absent block must not count: %d/%d", c.Hits(), c.Misses())
+	}
+
+	// Shared line: present but not owned, still no statistics.
+	c.Insert(0x40, Shared, false)
+	if l, present := c.LookupOwned(0x40); l != nil || !present {
+		t.Fatalf("shared block: LookupOwned = %v, %v", l, present)
+	}
+	if c.Hits() != 0 {
+		t.Fatal("unowned lookup must not count a hit")
+	}
+
+	// Owned (Exclusive, then Modified): line returned, hit counted,
+	// and the line made MRU — verified by who survives the next evictions.
+	c.Insert(0x140, Exclusive, false) // same set as 0x40 (2 sets, 2 ways)
+	l, present := c.LookupOwned(0x140)
+	if l == nil || !present || l.State != Exclusive {
+		t.Fatalf("exclusive block: LookupOwned = %+v, %v", l, present)
+	}
+	if c.Hits() != 1 {
+		t.Fatalf("owned lookup must count one hit, got %d", c.Hits())
+	}
+	l.State = Modified
+	l.Dirty = true
+	if l2, _ := c.LookupOwned(0x140); l2 != l || l2.State != Modified {
+		t.Fatalf("modified block: LookupOwned = %+v", l2)
+	}
+	// 0x140 was touched most recently, so 0x40 must be the victim.
+	victim, evicted := c.Insert(0x240, Shared, false)
+	if !evicted || victim.Addr() != 0x40 {
+		t.Fatalf("victim = %#x/%v, want 0x40 (owned lookup must refresh LRU)", victim.Addr(), evicted)
+	}
+}
+
+func TestInvalidatePageCountMatchesInvalidatePage(t *testing.T) {
+	// Small geometry takes the linear whole-store sweep; large geometry
+	// takes the per-block probe path. Both must remove exactly what
+	// InvalidatePage removes.
+	for _, cfg := range []Config{
+		{Name: "small", Size: 16 * 1024, Assoc: 4},   // 256 ways <= 64*assoc
+		{Name: "large", Size: 1024 * 1024, Assoc: 8}, // 16384 ways > 64*assoc
+	} {
+		a, b := New(cfg), New(cfg)
+		p, other := addr.PageNum(5), addr.PageNum(6)
+		for i := 0; i < addr.BlocksPerPage; i += 3 {
+			a.Insert(p.BlockAddr(i), Modified, true)
+			b.Insert(p.BlockAddr(i), Modified, true)
+		}
+		a.Insert(other.BlockAddr(0), Shared, false)
+		b.Insert(other.BlockAddr(0), Shared, false)
+
+		want := len(a.InvalidatePage(p))
+		got := b.InvalidatePageCount(p)
+		if got != want {
+			t.Fatalf("%s: InvalidatePageCount = %d, InvalidatePage removed %d", cfg.Name, got, want)
+		}
+		for i := 0; i < addr.BlocksPerPage; i++ {
+			if b.Probe(p.BlockAddr(i)) != nil {
+				t.Fatalf("%s: block %d still resident after count-invalidate", cfg.Name, i)
+			}
+		}
+		if b.Probe(other.BlockAddr(0)) == nil {
+			t.Fatalf("%s: other page must survive", cfg.Name)
+		}
+		if b.InvalidatePageCount(p) != 0 {
+			t.Fatalf("%s: second invalidation must remove nothing", cfg.Name)
+		}
+	}
+}
+
+func TestForEachLine(t *testing.T) {
+	c := tiny()
+	c.Insert(0x000, Modified, true)
+	c.Insert(0x040, Shared, false)
+	got := map[addr.Phys]State{}
+	c.ForEachLine(func(l *Line) { got[l.Addr()] = l.State })
+	if len(got) != 2 || got[0x000] != Modified || got[0x040] != Shared {
+		t.Fatalf("ForEachLine saw %v", got)
+	}
+	c.FlushAll()
+	n := 0
+	c.ForEachLine(func(*Line) { n++ })
+	if n != 0 {
+		t.Fatalf("ForEachLine after FlushAll visited %d lines", n)
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	cfg := Config{Name: "t", Size: 256, Assoc: 2, HitLatency: 7}
+	if got := New(cfg).Config(); got != cfg {
+		t.Fatalf("Config() = %+v, want %+v", got, cfg)
+	}
+}
+
+// Wide-associativity instance (no rank word fits >8 ways) exercises the
+// use-clock fallback paths of touch and lruWay.
+func TestWideAssocLRUFallback(t *testing.T) {
+	c := New(Config{Name: "wide", Size: 16 * 64, Assoc: 16}) // 1 set, 16 ways
+	for i := 0; i < 16; i++ {
+		c.Insert(addr.Phys(i)<<addr.BlockShift, Shared, false)
+	}
+	c.Lookup(0) // refresh block 0; block 1 becomes LRU
+	victim, evicted := c.Insert(16<<addr.BlockShift, Shared, false)
+	if !evicted || victim.Addr() != 1<<addr.BlockShift {
+		t.Fatalf("victim = %#x/%v, want block 1", victim.Addr(), evicted)
+	}
+	if !c.LookupHit(0) || c.LookupHit(1<<addr.BlockShift) {
+		t.Fatal("resident set wrong after fallback eviction")
+	}
+	if l, present := c.LookupOwned(16 << addr.BlockShift); l != nil || !present {
+		t.Fatalf("shared wide block: LookupOwned = %v, %v", l, present)
+	}
+}

@@ -74,6 +74,8 @@ type Cache struct {
 	tags    *cache.Cache
 	cached  map[addr.PageNum]*ctr.CounterBlock // contents of resident lines
 	region  map[addr.PageNum]ctr.CounterBlock  // NVM-resident (persistent) values
+	lastP   addr.PageNum                       // one-entry cache over cached:
+	lastCB  *ctr.CounterBlock                  // consecutive Gets hit the same page
 	dev     *nvm.Device
 	backend Backend  // optional ECC/fault mediation layer
 	bus     *obs.Bus // nil unless observability is enabled
@@ -151,7 +153,12 @@ func pageOfCtrAddr(a addr.Phys) addr.PageNum {
 func (c *Cache) Get(p addr.PageNum) (*ctr.CounterBlock, clock.Cycles, bool) {
 	if c.tags.Lookup(ctrAddr(p)) != nil {
 		c.bus.Emit(obs.EvCtrHit, uint64(p.Addr()), 0)
-		return c.cached[p], c.cfg.HitLatency, true
+		if c.lastCB != nil && c.lastP == p {
+			return c.lastCB, c.cfg.HitLatency, true
+		}
+		cb := c.cached[p]
+		c.lastP, c.lastCB = p, cb
+		return cb, c.cfg.HitLatency, true
 	}
 	// Miss: fetch from NVM.
 	c.bus.Emit(obs.EvCtrMiss, uint64(p.Addr()), 0)
@@ -188,8 +195,12 @@ func (c *Cache) install(p addr.PageNum, cb *ctr.CounterBlock, dirty bool) {
 			c.writebackPage(vp)
 		}
 		delete(c.cached, vp)
+		if c.lastP == vp {
+			c.lastCB = nil
+		}
 	}
 	c.cached[p] = cb
+	c.lastP, c.lastCB = p, cb
 }
 
 func (c *Cache) writebackPage(p addr.PageNum) {
@@ -236,6 +247,9 @@ func (c *Cache) Invalidate(p addr.PageNum) {
 		c.writebackPage(p)
 	}
 	delete(c.cached, p)
+	if c.lastP == p {
+		c.lastCB = nil
+	}
 }
 
 // Flush writes back every dirty counter block, leaving contents resident
@@ -267,6 +281,7 @@ func (c *Cache) Crash() {
 	}
 	c.tags.FlushAll()
 	c.cached = make(map[addr.PageNum]*ctr.CounterBlock)
+	c.lastCB = nil
 }
 
 // Peek returns the architecturally current counter block value for page p
@@ -302,6 +317,7 @@ func (c *Cache) RestoreRegion(region map[addr.PageNum]ctr.CounterBlock) {
 	}
 	c.tags.FlushAll()
 	c.cached = make(map[addr.PageNum]*ctr.CounterBlock)
+	c.lastCB = nil
 }
 
 // TamperPersisted overwrites page p's NVM-resident counter block without

@@ -178,12 +178,34 @@ func MakeIV(page addr.PageNum, blockIdx int, major uint64, minor uint8, chunk in
 	return iv
 }
 
+// padCacheSize is the number of entries in the engine's direct-mapped
+// pad cache. A pad is a pure function of (page, blockIdx, major, minor),
+// so caching is invisible to correctness: a hit returns bit-for-bit what
+// regeneration would. 512 64-byte pads = 32KB, roughly the pad-buffer
+// SRAM a controller would provision.
+const padCacheSize = 512
+
+type padEntry struct {
+	valid bool
+	page  addr.PageNum
+	major uint64
+	sub   uint16 // blockIdx<<8 | minor
+	pad   [addr.BlockSize]byte
+}
+
 // Engine turns IVs into pads and applies them to cache blocks. It is the
 // cryptographic half of the secure memory controller; it holds the single
 // system-wide memory key (the paper's design deliberately shares one key —
 // §4.2 discusses why per-process keys are impractical).
+//
+// The engine keeps a direct-mapped cache of recently generated pads and a
+// scratch IV buffer, so it is not safe for concurrent use; the simulator
+// gives each machine its own engine.
 type Engine struct {
-	cipher *aes.Cipher
+	cipher             *aes.Cipher
+	ivs                [addr.BlockSize]byte // scratch: four 16-byte IVs per block pad
+	pads               [padCacheSize]padEntry
+	padHits, padMisses uint64
 }
 
 // NewEngine creates an engine from a 16-, 24- or 32-byte memory key.
@@ -196,7 +218,9 @@ func NewEngine(key []byte) (*Engine, error) {
 }
 
 // Pad computes the 64-byte one-time pad for a block under the given
-// counters.
+// counters. This is the naive reference path: one MakeIV + Encrypt call
+// per 16-byte chunk, no caching. PadInto/CachedPad are the fast paths;
+// the differential tests pin them bit-identical to this.
 func (e *Engine) Pad(page addr.PageNum, blockIdx int, major uint64, minor uint8) [addr.BlockSize]byte {
 	var pad [addr.BlockSize]byte
 	for chunk := 0; chunk < addr.BlockSize/aes.BlockSize; chunk++ {
@@ -205,6 +229,41 @@ func (e *Engine) Pad(page addr.PageNum, blockIdx int, major uint64, minor uint8)
 	}
 	return pad
 }
+
+// PadInto computes the 64-byte pad into dst with one batched AES pass:
+// the IV is built once and replicated with only the chunk-index byte
+// varying, then all four chunks run through the cipher in one
+// EncryptBlocks call. Bit-identical to Pad.
+func (e *Engine) PadInto(dst *[addr.BlockSize]byte, page addr.PageNum, blockIdx int, major uint64, minor uint8) {
+	iv := MakeIV(page, blockIdx, major, minor, 0)
+	for chunk := 0; chunk < addr.BlockSize/aes.BlockSize; chunk++ {
+		copy(e.ivs[chunk*aes.BlockSize:], iv[:])
+		e.ivs[chunk*aes.BlockSize+6] = byte(blockIdx<<2 | chunk)
+	}
+	e.cipher.EncryptBlocks(dst[:], e.ivs[:])
+}
+
+// CachedPad returns the pad for (page, blockIdx, major, minor) from the
+// engine's direct-mapped pad cache, generating it with PadInto on a miss.
+// The returned pointer is valid until the entry is displaced; callers
+// must not mutate it.
+func (e *Engine) CachedPad(page addr.PageNum, blockIdx int, major uint64, minor uint8) *[addr.BlockSize]byte {
+	sub := uint16(blockIdx)<<8 | uint16(minor&MinorMax)
+	idx := (uint64(page)*0x9E3779B97F4A7C15 ^ major ^ uint64(sub)) & (padCacheSize - 1)
+	en := &e.pads[idx]
+	if en.valid && en.page == page && en.major == major && en.sub == sub {
+		e.padHits++
+		return &en.pad
+	}
+	e.padMisses++
+	en.valid, en.page, en.major, en.sub = true, page, major, sub
+	e.PadInto(&en.pad, page, blockIdx, major, minor)
+	return &en.pad
+}
+
+// PadCacheStats returns the pad cache's hit and miss counts (for
+// benchmarks and tests; cache behavior never affects pad values).
+func (e *Engine) PadCacheStats() (hits, misses uint64) { return e.padHits, e.padMisses }
 
 // PadChunk computes one 16-byte pad chunk (chunk 0..3) of a block's pad.
 // Schemes that encrypt sub-block regions under different counters (e.g.
@@ -218,14 +277,17 @@ func (e *Engine) PadChunk(page addr.PageNum, blockIdx int, major uint64, minor u
 
 // Apply XORs the pad for (page, blockIdx, major, minor) into the 64-byte
 // block in buf. Because XOR is an involution the same call both encrypts
-// and decrypts; naming both operations makes call sites readable.
+// and decrypts; naming both operations makes call sites readable. The pad
+// comes from the engine's pad cache and is XORed word-wise; the result is
+// bit-identical to the naive per-byte path.
 func (e *Engine) Apply(buf []byte, page addr.PageNum, blockIdx int, major uint64, minor uint8) {
 	if len(buf) < addr.BlockSize {
 		panic("ctr: buffer shorter than a block")
 	}
-	pad := e.Pad(page, blockIdx, major, minor)
-	for i := 0; i < addr.BlockSize; i++ {
-		buf[i] ^= pad[i]
+	pad := e.CachedPad(page, blockIdx, major, minor)
+	for i := 0; i < addr.BlockSize; i += 8 {
+		v := binary.LittleEndian.Uint64(buf[i:]) ^ binary.LittleEndian.Uint64(pad[i:])
+		binary.LittleEndian.PutUint64(buf[i:], v)
 	}
 }
 

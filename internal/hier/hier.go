@@ -12,6 +12,7 @@ package hier
 
 import (
 	"fmt"
+	"math/bits"
 
 	"silentshredder/internal/addr"
 	"silentshredder/internal/cache"
@@ -59,6 +60,139 @@ type dirEntry struct {
 	modified bool
 }
 
+// dirPage holds the directory entries for one page's 64 blocks. Storing
+// entries page-chunked (one map lookup per page instead of per block,
+// plus a last-page cache) replaces the former flat map[addr.Phys] layout;
+// the tracked state per block is unchanged.
+type dirPage struct {
+	present uint64 // bit per block: entry exists
+	e       [addr.BlocksPerPage]dirEntry
+}
+
+// denseDirPages bounds the directly indexed part of the directory: page
+// numbers below it (the kernel's frame allocators hand out small frame
+// numbers from zero) live in a slice grown on demand; anything beyond —
+// which no current configuration produces — falls back to a map.
+const denseDirPages = 1 << 22 // 16GB of 4KB frames
+
+// directory is the two-level MESI directory: page number -> 64-entry
+// chunk. The page table is a dense slice indexed by page number (one
+// bounds check instead of a map probe on every coherence consult), with
+// a map spillover for out-of-range pages.
+type directory struct {
+	dense  []*dirPage
+	sparse map[addr.PageNum]*dirPage // pages >= denseDirPages only
+}
+
+func newDirectory() directory {
+	return directory{sparse: make(map[addr.PageNum]*dirPage)}
+}
+
+func (d *directory) page(p addr.PageNum) *dirPage {
+	if uint64(p) < uint64(len(d.dense)) {
+		return d.dense[p]
+	}
+	if uint64(p) < denseDirPages {
+		return nil
+	}
+	return d.sparse[p]
+}
+
+// lookup returns the entry for block a if one exists.
+func (d *directory) lookup(a addr.Phys) (*dirEntry, bool) {
+	dp := d.page(a.Page())
+	if dp == nil {
+		return nil, false
+	}
+	bi := a.BlockIndex()
+	if dp.present&(1<<bi) == 0 {
+		return nil, false
+	}
+	return &dp.e[bi], true
+}
+
+// entry returns the entry for block a, creating it if needed.
+func (d *directory) entry(a addr.Phys) *dirEntry {
+	p := a.Page()
+	dp := d.page(p)
+	if dp == nil {
+		dp = &dirPage{}
+		if uint64(p) < denseDirPages {
+			for uint64(p) >= uint64(len(d.dense)) {
+				d.dense = append(d.dense, nil)
+			}
+			d.dense[p] = dp
+		} else {
+			d.sparse[p] = dp
+		}
+	}
+	bi := a.BlockIndex()
+	if dp.present&(1<<bi) == 0 {
+		dp.present |= 1 << bi
+		dp.e[bi] = dirEntry{owner: -1}
+	}
+	return &dp.e[bi]
+}
+
+// remove drops block a's entry, freeing the page chunk when it empties.
+func (d *directory) remove(a addr.Phys) {
+	p := a.Page()
+	dp := d.page(p)
+	if dp == nil {
+		return
+	}
+	bi := a.BlockIndex()
+	if dp.present&(1<<bi) == 0 {
+		return
+	}
+	dp.present &^= 1 << bi
+	dp.e[bi] = dirEntry{}
+}
+
+// removePage drops every entry of page p at once (the shred path). The
+// chunk itself stays allocated for reuse: entry() re-initializes a slot
+// whenever its present bit is clear, so clearing the bitmask is a full
+// logical removal without feeding the allocator.
+func (d *directory) removePage(p addr.PageNum) {
+	if dp := d.page(p); dp != nil {
+		dp.present = 0
+	}
+}
+
+// reset empties the directory, retaining chunk allocations.
+func (d *directory) reset() {
+	for _, dp := range d.dense {
+		if dp != nil {
+			dp.present = 0
+		}
+	}
+	for _, dp := range d.sparse {
+		dp.present = 0
+	}
+}
+
+// forEach calls fn for every existing entry. Dense pages come first in
+// ascending page order, then spillover pages in Go map order; callers
+// needing full determinism must sort.
+func (d *directory) forEach(fn func(a addr.Phys, de *dirEntry)) {
+	visit := func(p addr.PageNum, dp *dirPage) {
+		rem := dp.present
+		for rem != 0 {
+			bi := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			fn(p.BlockAddr(bi), &dp.e[bi])
+		}
+	}
+	for i, dp := range d.dense {
+		if dp != nil {
+			visit(addr.PageNum(i), dp)
+		}
+	}
+	for p, dp := range d.sparse {
+		visit(p, dp)
+	}
+}
+
 // Hierarchy is the full multi-core cache system in front of the memory
 // controller.
 type Hierarchy struct {
@@ -67,7 +201,7 @@ type Hierarchy struct {
 	l2  []*cache.Cache
 	l3  *cache.Cache
 	l4  *cache.Cache
-	dir map[addr.Phys]*dirEntry
+	dir directory
 	mc  *memctrl.Controller
 
 	invalidations stats.Counter // coherence invalidation messages
@@ -93,7 +227,7 @@ func New(cfg Config, mc *memctrl.Controller) *Hierarchy {
 		cfg: cfg,
 		l3:  cache.New(cfg.L3),
 		l4:  cache.New(cfg.L4),
-		dir: make(map[addr.Phys]*dirEntry),
+		dir: newDirectory(),
 		mc:  mc,
 	}
 	for i := 0; i < cfg.Cores; i++ {
@@ -113,12 +247,7 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 func (h *Hierarchy) Controller() *memctrl.Controller { return h.mc }
 
 func (h *Hierarchy) entry(a addr.Phys) *dirEntry {
-	de, ok := h.dir[a]
-	if !ok {
-		de = &dirEntry{owner: -1}
-		h.dir[a] = de
-	}
-	return de
+	return h.dir.entry(a)
 }
 
 // Read services a load from the given core for the block containing a,
@@ -126,7 +255,7 @@ func (h *Hierarchy) entry(a addr.Phys) *dirEntry {
 func (h *Hierarchy) Read(core int, a addr.Phys) clock.Cycles {
 	a = a.Block()
 	lat := h.cfg.L1.HitLatency
-	if h.l1[core].Lookup(a) != nil {
+	if h.l1[core].LookupHit(a) {
 		return lat
 	}
 	lat += h.cfg.L2.HitLatency
@@ -138,7 +267,7 @@ func (h *Hierarchy) Read(core int, a addr.Phys) clock.Cycles {
 	// downgrade any remote Exclusive copy to Shared (it is no longer the
 	// sole copy once this read completes).
 	state := cache.Shared
-	if de, ok := h.dir[a]; ok {
+	if de, ok := h.dir.lookup(a); ok {
 		if de.modified && de.owner != core {
 			h.intervene(a, de)
 			lat += h.cfg.CoherencePenalty
@@ -156,9 +285,9 @@ func (h *Hierarchy) Read(core int, a addr.Phys) clock.Cycles {
 		}
 	}
 	lat += h.cfg.L3.HitLatency
-	if h.l3.Lookup(a) == nil {
+	if !h.l3.LookupHit(a) {
 		lat += h.cfg.L4.HitLatency
-		if h.l4.Lookup(a) == nil {
+		if !h.l4.LookupHit(a) {
 			h.llcMisses.Inc()
 			lat += h.mc.ReadBlock(a, nil)
 			h.insertL4(a, false)
@@ -181,10 +310,10 @@ func (h *Hierarchy) Read(core int, a addr.Phys) clock.Cycles {
 func (h *Hierarchy) Write(core int, a addr.Phys) clock.Cycles {
 	a = a.Block()
 	lat := h.cfg.L1.HitLatency
-	if l := h.l1[core].Probe(a); l != nil && (l.State == cache.Modified || l.State == cache.Exclusive) {
-		h.l1[core].Lookup(a) // count the hit, refresh LRU
-		l.State = cache.Modified
-		l.Dirty = true
+	l1Line, l1Present := h.l1[core].LookupOwned(a)
+	if l1Line != nil {
+		l1Line.State = cache.Modified
+		l1Line.Dirty = true
 		de := h.entry(a)
 		de.modified, de.owner, de.sharers = true, core, 1<<core
 		return lat
@@ -192,7 +321,7 @@ func (h *Hierarchy) Write(core int, a addr.Phys) clock.Cycles {
 
 	// Need ownership: invalidate all other private copies.
 	inheritDirty := false
-	if de, ok := h.dir[a]; ok {
+	if de, ok := h.dir.lookup(a); ok {
 		for c := 0; c < h.cfg.Cores; c++ {
 			if c == core || de.sharers&(1<<c) == 0 {
 				continue
@@ -210,15 +339,17 @@ func (h *Hierarchy) Write(core int, a addr.Phys) clock.Cycles {
 		}
 	}
 
-	if h.l1[core].Probe(a) != nil || h.l2[core].Probe(a) != nil {
+	// The discard loop above only touches other cores' caches, so the
+	// presence result from the owned-lookup is still current.
+	if l1Present || h.l2[core].Probe(a) != nil {
 		// Upgrade in place.
 		h.insertPrivate(core, a, cache.Modified, true)
 	} else {
 		// Write-allocate: fetch the block, then modify.
 		lat += h.cfg.L2.HitLatency + h.cfg.L3.HitLatency
-		if h.l3.Lookup(a) == nil {
+		if !h.l3.LookupHit(a) {
 			lat += h.cfg.L4.HitLatency
-			if h.l4.Lookup(a) == nil {
+			if !h.l4.LookupHit(a) {
 				h.llcMisses.Inc()
 				lat += h.mc.ReadBlock(a, nil)
 				h.insertL4(a, false)
@@ -258,14 +389,12 @@ func (h *Hierarchy) ShredInvalidate(p addr.PageNum) int {
 	h.pageInvals.Inc()
 	msgs := 0
 	for c := 0; c < h.cfg.Cores; c++ {
-		msgs += len(h.l1[c].InvalidatePage(p))
-		msgs += len(h.l2[c].InvalidatePage(p))
+		msgs += h.l1[c].InvalidatePageCount(p)
+		msgs += h.l2[c].InvalidatePageCount(p)
 	}
-	h.l3.InvalidatePage(p)
-	h.l4.InvalidatePage(p)
-	for i := 0; i < addr.BlocksPerPage; i++ {
-		delete(h.dir, p.BlockAddr(i))
-	}
+	h.l3.InvalidatePageCount(p)
+	h.l4.InvalidatePageCount(p)
+	h.dir.removePage(p)
 	h.bus.Emit(obs.EvPageInval, uint64(p.Addr()), uint64(msgs))
 	return msgs
 }
@@ -312,7 +441,7 @@ func (h *Hierarchy) discardEverywhere(a addr.Phys) {
 	}
 	h.l3.Invalidate(a)
 	h.l4.Invalidate(a)
-	delete(h.dir, a)
+	h.dir.remove(a)
 }
 
 // insertPrivate installs a into core's L2 then L1, handling inclusive
@@ -358,14 +487,14 @@ func (h *Hierarchy) evictFromL2(core int, v cache.Line) {
 			h.insertL3(a, true)
 		}
 	}
-	if de, ok := h.dir[a]; ok {
+	if de, ok := h.dir.lookup(a); ok {
 		de.sharers &^= 1 << core
 		if de.owner == core {
 			de.modified = false
 			de.owner = -1
 		}
 		if de.sharers == 0 {
-			delete(h.dir, a)
+			h.dir.remove(a)
 		}
 	}
 }
@@ -384,7 +513,7 @@ func (h *Hierarchy) insertL3(a addr.Phys, dirty bool) {
 			d = true
 		}
 	}
-	delete(h.dir, va)
+	h.dir.remove(va)
 	if d {
 		if l := h.l4.Probe(va); l != nil {
 			l.Dirty = true
@@ -412,7 +541,7 @@ func (h *Hierarchy) insertL4(a addr.Phys, dirty bool) {
 	if l, ok := h.l3.Invalidate(va); ok && l.Dirty {
 		d = true
 	}
-	delete(h.dir, va)
+	h.dir.remove(va)
 	if d {
 		h.mc.WriteBlock(va)
 	}
@@ -437,7 +566,7 @@ func (h *Hierarchy) FlushPage(p addr.PageNum) int {
 		if l, ok := h.l4.Invalidate(a); ok && l.Dirty {
 			wasDirty = true
 		}
-		delete(h.dir, a)
+		h.dir.remove(a)
 		if wasDirty {
 			h.mc.WriteBlock(a)
 			dirty++
@@ -464,7 +593,7 @@ func (h *Hierarchy) FlushAll() {
 	}
 	flush(h.l3.FlushAll())
 	flush(h.l4.FlushAll())
-	h.dir = make(map[addr.Phys]*dirEntry)
+	h.dir.reset()
 }
 
 // Crash drops all cache contents without writing anything back, modeling
@@ -476,7 +605,7 @@ func (h *Hierarchy) Crash() {
 	}
 	h.l3.FlushAll()
 	h.l4.FlushAll()
-	h.dir = make(map[addr.Phys]*dirEntry)
+	h.dir.reset()
 }
 
 // L1 returns core i's L1 cache (for statistics and tests).

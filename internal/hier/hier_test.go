@@ -254,3 +254,53 @@ func TestStatsSetAndReset(t *testing.T) {
 		t.Fatal("accessors broken")
 	}
 }
+
+func TestAccessors(t *testing.T) {
+	cfg := tinyConfig(2)
+	h, mc, _ := newHier(t, cfg, memctrl.Baseline)
+	if h.Config().Cores != 2 || h.Config().L1 != cfg.L1 {
+		t.Fatalf("Config() = %+v", h.Config())
+	}
+	if h.Controller() != mc {
+		t.Fatal("Controller() must return the backing controller")
+	}
+	h.SetBus(nil) // nil bus keeps the hierarchy silent; must not panic
+	if lat := h.Read(0, 0x40); lat == 0 {
+		t.Fatal("read with nil bus returned zero latency")
+	}
+}
+
+func TestInvariantSweep(t *testing.T) {
+	h, _, _ := newHier(t, tinyConfig(2), memctrl.Baseline)
+	if err := h.CheckAll(); err != nil {
+		t.Fatalf("empty hierarchy violates invariants: %v", err)
+	}
+	if len(h.ResidentBlocks()) != 0 || h.ResidentAny(0x40) {
+		t.Fatal("empty hierarchy must have no resident blocks")
+	}
+
+	h.Read(0, 0x040)  // core 0 shared
+	h.Write(1, 0x080) // core 1 modified
+	h.Read(1, 0x040)  // 0x040 now shared by both cores
+
+	if err := h.CheckAll(); err != nil {
+		t.Fatalf("CheckAll after traffic: %v", err)
+	}
+	blocks := h.ResidentBlocks()
+	if len(blocks) != 2 || blocks[0] != 0x040 || blocks[1] != 0x080 {
+		t.Fatalf("ResidentBlocks = %v, want [0x40 0x80]", blocks)
+	}
+	if !h.ResidentAny(0x79) { // unaligned address inside block 0x40
+		t.Fatal("ResidentAny must align down to the block")
+	}
+	if h.ResidentAny(0x0C0) {
+		t.Fatal("untouched block reported resident")
+	}
+
+	// Corrupt the structure on purpose: a line present in L1 but
+	// missing from L3 breaks inclusion, and CheckInvariants must say so.
+	h.l3.Invalidate(0x080)
+	if err := h.CheckInvariants([]addr.Phys{0x080}); err == nil {
+		t.Fatal("broken inclusion must fail the sweep")
+	}
+}

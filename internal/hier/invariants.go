@@ -51,7 +51,7 @@ func (h *Hierarchy) CheckInvariants(blocks []addr.Phys) error {
 		if modifiedOwner >= 0 && holders&^(1<<modifiedOwner) != 0 {
 			return fmt.Errorf("hier: %v Modified in core %d but shared by mask %b", a, modifiedOwner, holders)
 		}
-		if de, ok := h.dir[a]; ok {
+		if de, ok := h.dir.lookup(a); ok {
 			if de.sharers&^holders != 0 {
 				return fmt.Errorf("hier: %v directory sharers %b exceed actual holders %b", a, de.sharers, holders)
 			}
@@ -83,9 +83,7 @@ func (h *Hierarchy) ResidentBlocks() []addr.Phys {
 	}
 	collect(h.l3)
 	collect(h.l4)
-	for a := range h.dir {
-		seen[a] = true
-	}
+	h.dir.forEach(func(a addr.Phys, _ *dirEntry) { seen[a] = true })
 	out := make([]addr.Phys, 0, len(seen))
 	for a := range seen {
 		out = append(out, a)
@@ -117,18 +115,24 @@ func (h *Hierarchy) CheckAll() error {
 	if err := h.CheckInvariants(blocks); err != nil {
 		return err
 	}
-	for a, de := range h.dir {
+	var err error
+	h.dir.forEach(func(a addr.Phys, de *dirEntry) {
+		if err != nil {
+			return
+		}
 		if de.modified {
 			if de.owner < 0 || de.owner >= h.cfg.Cores {
-				return fmt.Errorf("hier: %v directory modified with invalid owner %d", a, de.owner)
+				err = fmt.Errorf("hier: %v directory modified with invalid owner %d", a, de.owner)
+				return
 			}
 			if de.sharers&(1<<de.owner) == 0 {
-				return fmt.Errorf("hier: %v directory owner %d not in sharer mask %b", a, de.owner, de.sharers)
+				err = fmt.Errorf("hier: %v directory owner %d not in sharer mask %b", a, de.owner, de.sharers)
+				return
 			}
 		}
 		if de.sharers == 0 {
-			return fmt.Errorf("hier: %v directory entry with no sharers (bookkeeping leak)", a)
+			err = fmt.Errorf("hier: %v directory entry with no sharers (bookkeeping leak)", a)
 		}
-	}
-	return nil
+	})
+	return err
 }

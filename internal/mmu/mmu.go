@@ -29,43 +29,118 @@ type PTE struct {
 	ZeroPage bool
 }
 
-// AddressSpace is one process's page table.
+// ptChunkShift sizes the leaf tables of the two-level page table: 512
+// entries per chunk, mirroring one hardware page-table page of 8-byte
+// PTEs. Workload access patterns are page-local, so a one-chunk cache
+// in front of the chunk map turns almost every Lookup into an array
+// index instead of a map access.
+const (
+	ptChunkShift = 9
+	ptChunkSize  = 1 << ptChunkShift
+	ptChunkMask  = ptChunkSize - 1
+)
+
+type ptChunk struct {
+	e    [ptChunkSize]PTE
+	used int // entries with Present set
+}
+
+// AddressSpace is one process's page table, stored as a two-level
+// structure: VPN>>9 selects a 512-entry chunk, the low 9 bits index it.
+// Entry existence is tracked by PTE.Present (Map always sets it).
 type AddressSpace struct {
-	ID int
-	pt map[addr.VPageNum]PTE
+	ID     int
+	chunks map[uint64]*ptChunk
+	lastK  uint64
+	last   *ptChunk // one-chunk lookup cache; nil when empty
+	mapped int
 }
 
 // NewAddressSpace creates an empty address space with the given ASID.
 func NewAddressSpace(id int) *AddressSpace {
-	return &AddressSpace{ID: id, pt: make(map[addr.VPageNum]PTE)}
+	return &AddressSpace{ID: id, chunks: make(map[uint64]*ptChunk)}
+}
+
+func (as *AddressSpace) chunk(vpn addr.VPageNum) *ptChunk {
+	k := uint64(vpn) >> ptChunkShift
+	if as.last != nil && as.lastK == k {
+		return as.last
+	}
+	c := as.chunks[k]
+	if c != nil {
+		as.lastK, as.last = k, c
+	}
+	return c
 }
 
 // Map installs a translation.
 func (as *AddressSpace) Map(vpn addr.VPageNum, pte PTE) {
 	pte.Present = true
-	as.pt[vpn] = pte
+	c := as.chunk(vpn)
+	if c == nil {
+		k := uint64(vpn) >> ptChunkShift
+		c = &ptChunk{}
+		as.chunks[k] = c
+		as.lastK, as.last = k, c
+	}
+	e := &c.e[uint64(vpn)&ptChunkMask]
+	if !e.Present {
+		c.used++
+		as.mapped++
+	}
+	*e = pte
 }
 
 // Unmap removes a translation, returning the old entry.
 func (as *AddressSpace) Unmap(vpn addr.VPageNum) (PTE, bool) {
-	pte, ok := as.pt[vpn]
-	delete(as.pt, vpn)
-	return pte, ok
+	c := as.chunk(vpn)
+	if c == nil {
+		return PTE{}, false
+	}
+	e := &c.e[uint64(vpn)&ptChunkMask]
+	if !e.Present {
+		return PTE{}, false
+	}
+	old := *e
+	*e = PTE{}
+	c.used--
+	as.mapped--
+	if c.used == 0 {
+		delete(as.chunks, uint64(vpn)>>ptChunkShift)
+		if as.last == c {
+			as.last = nil
+		}
+	}
+	return old, true
 }
 
 // Lookup returns the entry for vpn.
 func (as *AddressSpace) Lookup(vpn addr.VPageNum) (PTE, bool) {
-	pte, ok := as.pt[vpn]
-	return pte, ok
+	c := as.chunk(vpn)
+	if c == nil {
+		return PTE{}, false
+	}
+	pte := c.e[uint64(vpn)&ptChunkMask]
+	return pte, pte.Present
 }
 
 // Mapped returns the number of present translations.
-func (as *AddressSpace) Mapped() int { return len(as.pt) }
+func (as *AddressSpace) Mapped() int { return as.mapped }
 
-// Pages calls fn for every mapped page.
+// Pages calls fn for every mapped page. Chunk order follows Go map
+// iteration (unordered, as with the previous flat-map layout); callers
+// needing determinism must collect and sort.
 func (as *AddressSpace) Pages(fn func(vpn addr.VPageNum, pte PTE)) {
-	for vpn, pte := range as.pt {
-		fn(vpn, pte)
+	for k, c := range as.chunks {
+		if c.used == 0 {
+			continue
+		}
+		base := k << ptChunkShift
+		for i := range c.e {
+			if c.e[i].Present {
+				fn(addr.VPageNum(base|uint64(i)), c.e[i])
+			}
+		}
 	}
 }
 

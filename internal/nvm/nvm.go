@@ -125,12 +125,36 @@ type Injector interface {
 	CorruptRead(a addr.Phys, dst []byte) ReadOutcome
 }
 
+// wearPage holds the per-block wear counters of one page. Wear and flip
+// metadata are stored page-chunked (one map lookup per page plus a
+// last-page cache) instead of in flat map[addr.Phys] maps; the presence
+// bitmasks preserve the old maps' present/absent distinction exactly.
+type wearPage struct {
+	present uint64
+	w       [addr.BlocksPerPage]uint64
+}
+
+// flipPage holds the FNW flip-bit bytes of one page's blocks.
+type flipPage struct {
+	present uint64
+	f       [addr.BlocksPerPage]uint8
+}
+
 // Device is a simulated NVM DIMM population.
 type Device struct {
 	cfg   Config
 	pages map[addr.PageNum]*[addr.PageSize]byte
-	flip  map[addr.Phys]uint8 // FNW flip bit per 8-byte word, bit i = word i of block
-	wear  map[addr.Phys]uint64
+	flip  map[addr.PageNum]*flipPage // FNW flip bit per 8-byte word, bit i = word i of block
+	wear  map[addr.PageNum]*wearPage
+
+	// One-entry caches over the three page maps: accesses are page-local,
+	// so the common case never touches the maps at all.
+	lastP     addr.PageNum
+	lastPg    *[addr.PageSize]byte
+	lastWearP addr.PageNum
+	lastWear  *wearPage
+	lastFlipP addr.PageNum
+	lastFlip  *flipPage
 
 	inj       Injector          // nil = perfect device
 	writeHook func(a addr.Phys) // crash scheduler; runs before any commit
@@ -154,14 +178,58 @@ func New(cfg Config) *Device {
 	d := &Device{
 		cfg:        cfg,
 		pages:      make(map[addr.PageNum]*[addr.PageSize]byte),
-		flip:       make(map[addr.Phys]uint8),
-		wear:       make(map[addr.Phys]uint64),
+		flip:       make(map[addr.PageNum]*flipPage),
+		wear:       make(map[addr.PageNum]*wearPage),
 		perChannel: make([]stats.Counter, cfg.Channels),
 	}
 	if cfg.Banks > 0 {
 		d.bankLast = make([]uint64, cfg.Channels*cfg.Banks)
 	}
 	return d
+}
+
+// dataPage returns page p's storage if materialized.
+func (d *Device) dataPage(p addr.PageNum) *[addr.PageSize]byte {
+	if d.lastPg != nil && d.lastP == p {
+		return d.lastPg
+	}
+	pg := d.pages[p]
+	if pg != nil {
+		d.lastP, d.lastPg = p, pg
+	}
+	return pg
+}
+
+// wearPageOf returns page p's wear chunk, creating it when create is set.
+func (d *Device) wearPageOf(p addr.PageNum, create bool) *wearPage {
+	if d.lastWear != nil && d.lastWearP == p {
+		return d.lastWear
+	}
+	wp := d.wear[p]
+	if wp == nil && create {
+		wp = &wearPage{}
+		d.wear[p] = wp
+	}
+	if wp != nil {
+		d.lastWearP, d.lastWear = p, wp
+	}
+	return wp
+}
+
+// flipPageOf returns page p's flip chunk, creating it when create is set.
+func (d *Device) flipPageOf(p addr.PageNum, create bool) *flipPage {
+	if d.lastFlip != nil && d.lastFlipP == p {
+		return d.lastFlip
+	}
+	fp := d.flip[p]
+	if fp == nil && create {
+		fp = &flipPage{}
+		d.flip[p] = fp
+	}
+	if fp != nil {
+		d.lastFlipP, d.lastFlip = p, fp
+	}
+	return fp
 }
 
 // Config returns the device configuration.
@@ -222,7 +290,7 @@ func (d *Device) ReadBlock(a addr.Phys, dst []byte) clock.Cycles {
 	d.perChannel[d.Channel(a)].Inc()
 	bankExtra := d.bankDelay(a)
 	if d.cfg.StoreData && dst != nil {
-		if pg, ok := d.pages[a.Page()]; ok {
+		if pg := d.dataPage(a.Page()); pg != nil {
 			off := a.PageOffset()
 			copy(dst[:addr.BlockSize], pg[off:off+addr.BlockSize])
 		} else {
@@ -257,7 +325,7 @@ func (d *Device) Peek(a addr.Phys, dst []byte) bool {
 		return false
 	}
 	a = a.Block()
-	if pg, ok := d.pages[a.Page()]; ok {
+	if pg := d.dataPage(a.Page()); pg != nil {
 		off := a.PageOffset()
 		copy(dst[:addr.BlockSize], pg[off:off+addr.BlockSize])
 	} else {
@@ -285,10 +353,11 @@ func (d *Device) WriteBlock(a addr.Phys, src []byte) clock.Cycles {
 		return d.cfg.WriteLatency + bankExtra
 	}
 
-	pg, ok := d.pages[a.Page()]
-	if !ok {
+	pg := d.dataPage(a.Page())
+	if pg == nil {
 		pg = new([addr.PageSize]byte)
 		d.pages[a.Page()] = pg
+		d.lastP, d.lastPg = a.Page(), pg
 	}
 	off := a.PageOffset()
 	old := pg[off : off+addr.BlockSize]
@@ -299,7 +368,7 @@ func (d *Device) WriteBlock(a addr.Phys, src []byte) clock.Cycles {
 		// new). The cells are pulsed either way — latency and wear are
 		// charged as for a full write.
 		copy(d.scratch[:], src[:addr.BlockSize])
-		if !d.inj.FilterWrite(a, d.wear[a], old, d.scratch[:]) {
+		if !d.inj.FilterWrite(a, d.wearOf(a), old, d.scratch[:]) {
 			d.accountWrite(a, 0, addr.BlockSize*8)
 			return d.cfg.WriteLatency + bankExtra
 		}
@@ -336,11 +405,22 @@ func (d *Device) accountWrite(a addr.Phys, flipped, written uint64) {
 	if d.cfg.DisableWearTracking {
 		return
 	}
-	w := d.wear[a] + 1
-	d.wear[a] = w
-	if w > d.maxWear {
-		d.maxWear = w
+	wp := d.wearPageOf(a.Page(), true)
+	bi := a.BlockIndex()
+	wp.present |= 1 << bi
+	wp.w[bi]++
+	if wp.w[bi] > d.maxWear {
+		d.maxWear = wp.w[bi]
 	}
+}
+
+// wearOf returns the wear count of block a (0 when never written).
+func (d *Device) wearOf(a addr.Phys) uint64 {
+	wp := d.wearPageOf(a.Page(), false)
+	if wp == nil {
+		return 0
+	}
+	return wp.w[a.BlockIndex()]
 }
 
 // diffBits counts differing bits between two 64-byte blocks.
@@ -358,7 +438,9 @@ func diffBits(old, new []byte) uint64 {
 // stored image may be inverted (tracked by a flip bit) so at most 32 cells
 // plus the flip bit change per word.
 func (d *Device) fnwFlips(a addr.Phys, old, new []byte) uint64 {
-	flips := d.flip[a]
+	fp := d.flipPageOf(a.Page(), true)
+	bi := a.BlockIndex()
+	flips := fp.f[bi]
 	var total uint64
 	for w := 0; w < addr.BlockSize/8; w++ {
 		o := binary.LittleEndian.Uint64(old[w*8:])
@@ -387,7 +469,8 @@ func (d *Device) fnwFlips(a addr.Phys, old, new []byte) uint64 {
 			}
 		}
 	}
-	d.flip[a] = flips
+	fp.present |= 1 << bi
+	fp.f[bi] = flips
 	return total
 }
 
@@ -400,21 +483,32 @@ type State struct {
 }
 
 // Snapshot exports the device's persistent state. The returned state
-// shares no memory with the device.
+// shares no memory with the device; wear and flip export in the flat
+// per-block form State has always used.
 func (d *Device) Snapshot() *State {
 	st := &State{
 		Pages: make(map[addr.PageNum][]byte, len(d.pages)),
-		Wear:  make(map[addr.Phys]uint64, len(d.wear)),
-		Flip:  make(map[addr.Phys]uint8, len(d.flip)),
+		Wear:  make(map[addr.Phys]uint64, len(d.wear)*addr.BlocksPerPage),
+		Flip:  make(map[addr.Phys]uint8, len(d.flip)*addr.BlocksPerPage),
 	}
 	for p, data := range d.pages {
 		st.Pages[p] = append([]byte(nil), data[:]...)
 	}
-	for a, w := range d.wear {
-		st.Wear[a] = w
+	for p, wp := range d.wear {
+		rem := wp.present
+		for rem != 0 {
+			bi := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			st.Wear[p.BlockAddr(bi)] = wp.w[bi]
+		}
 	}
-	for a, f := range d.flip {
-		st.Flip[a] = f
+	for p, fp := range d.flip {
+		rem := fp.present
+		for rem != 0 {
+			bi := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			st.Flip[p.BlockAddr(bi)] = fp.f[bi]
+		}
 	}
 	return st
 }
@@ -422,22 +516,32 @@ func (d *Device) Snapshot() *State {
 // Restore replaces the device's persistent state with st.
 func (d *Device) Restore(st *State) {
 	d.pages = make(map[addr.PageNum]*[addr.PageSize]byte, len(st.Pages))
+	d.lastPg, d.lastWear, d.lastFlip = nil, nil, nil
 	for p, data := range st.Pages {
 		pg := new([addr.PageSize]byte)
 		copy(pg[:], data)
 		d.pages[p] = pg
 	}
-	d.wear = make(map[addr.Phys]uint64, len(st.Wear))
+	d.wear = make(map[addr.PageNum]*wearPage)
 	d.maxWear = 0
 	for a, w := range st.Wear {
-		d.wear[a] = w
+		a = a.Block()
+		wp := d.wearPageOf(a.Page(), true)
+		bi := a.BlockIndex()
+		wp.present |= 1 << bi
+		wp.w[bi] = w
 		if w > d.maxWear {
 			d.maxWear = w
 		}
 	}
-	d.flip = make(map[addr.Phys]uint8, len(st.Flip))
+	d.flip = make(map[addr.PageNum]*flipPage)
+	d.lastFlip = nil
 	for a, f := range st.Flip {
-		d.flip[a] = f
+		a = a.Block()
+		fp := d.flipPageOf(a.Page(), true)
+		bi := a.BlockIndex()
+		fp.present |= 1 << bi
+		fp.f[bi] = f
 	}
 }
 
@@ -451,7 +555,7 @@ func (d *Device) ForEachPage(fn func(p addr.PageNum, data *[addr.PageSize]byte))
 }
 
 // Wear returns the write count of the block at a.
-func (d *Device) Wear(a addr.Phys) uint64 { return d.wear[a.Block()] }
+func (d *Device) Wear(a addr.Phys) uint64 { return d.wearOf(a.Block()) }
 
 // MaxWear returns the highest per-block write count seen so far.
 func (d *Device) MaxWear() uint64 { return d.maxWear }
@@ -459,9 +563,14 @@ func (d *Device) MaxWear() uint64 { return d.maxWear }
 // WornBlocks returns how many blocks have exceeded the endurance limit.
 func (d *Device) WornBlocks() int {
 	n := 0
-	for _, w := range d.wear {
-		if w > d.cfg.Endurance {
-			n++
+	for _, wp := range d.wear {
+		rem := wp.present
+		for rem != 0 {
+			bi := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			if wp.w[bi] > d.cfg.Endurance {
+				n++
+			}
 		}
 	}
 	return n

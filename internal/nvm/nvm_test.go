@@ -271,6 +271,21 @@ func BenchmarkWriteBlock(b *testing.B) {
 	}
 }
 
+// BenchmarkReadBlock measures the device read path (timing model plus
+// data copy) over a warm working set.
+func BenchmarkReadBlock(b *testing.B) {
+	d := New(DefaultConfig())
+	buf := blockOf(1)
+	for i := 0; i < 4096; i++ {
+		d.WriteBlock(addr.Phys(i)<<addr.BlockShift, buf)
+	}
+	b.SetBytes(addr.BlockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ReadBlock(addr.Phys(i%4096)<<addr.BlockShift, buf)
+	}
+}
+
 func TestBankConflicts(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Channels = 1

@@ -16,10 +16,14 @@ import (
 	"silentshredder/internal/addr"
 )
 
-// Image is a sparse plaintext memory image.
+// Image is a sparse plaintext memory image. A one-page cache in front of
+// the page map short-circuits the map lookup for the page-local access
+// runs that dominate workloads.
 type Image struct {
 	enabled bool
 	pages   map[addr.PageNum]*[addr.PageSize]byte
+	lastP   addr.PageNum
+	last    *[addr.PageSize]byte // nil when the cache is empty
 }
 
 // New creates an image. If store is false all operations are no-ops and
@@ -31,6 +35,19 @@ func New(store bool) *Image {
 // Enabled reports whether the image stores data.
 func (m *Image) Enabled() bool { return m.enabled }
 
+// page returns page p's storage if materialized, consulting the
+// one-page cache first.
+func (m *Image) page(p addr.PageNum) *[addr.PageSize]byte {
+	if m.last != nil && m.lastP == p {
+		return m.last
+	}
+	pg := m.pages[p]
+	if pg != nil {
+		m.lastP, m.last = p, pg
+	}
+	return pg
+}
+
 // Read copies len(dst) bytes at physical address a into dst. Unwritten
 // memory reads as zeros.
 func (m *Image) Read(a addr.Phys, dst []byte) {
@@ -41,13 +58,13 @@ func (m *Image) Read(a addr.Phys, dst []byte) {
 		return
 	}
 	for len(dst) > 0 {
-		pg, ok := m.pages[a.Page()]
+		pg := m.page(a.Page())
 		off := int(a.PageOffset())
 		n := addr.PageSize - off
 		if n > len(dst) {
 			n = len(dst)
 		}
-		if ok {
+		if pg != nil {
 			copy(dst[:n], pg[off:off+n])
 		} else {
 			for i := 0; i < n; i++ {
@@ -65,10 +82,11 @@ func (m *Image) Write(a addr.Phys, src []byte) {
 		return
 	}
 	for len(src) > 0 {
-		pg, ok := m.pages[a.Page()]
-		if !ok {
+		pg := m.page(a.Page())
+		if pg == nil {
 			pg = new([addr.PageSize]byte)
 			m.pages[a.Page()] = pg
+			m.lastP, m.last = a.Page(), pg
 		}
 		off := int(a.PageOffset())
 		n := addr.PageSize - off
@@ -131,6 +149,7 @@ func (m *Image) Snapshot() map[addr.PageNum][]byte {
 // Restore replaces the image contents. A nil snapshot clears the image.
 func (m *Image) Restore(pages map[addr.PageNum][]byte) {
 	m.pages = make(map[addr.PageNum]*[addr.PageSize]byte, len(pages))
+	m.last = nil
 	if !m.enabled {
 		return
 	}

@@ -108,3 +108,70 @@ func TestReadBlockAlignsDown(t *testing.T) {
 		t.Fatal("ReadBlock must align to block base")
 	}
 }
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m := New(true)
+	m.Write(addr.PageNum(1).BlockAddr(0), []byte("alpha"))
+	m.Write(addr.PageNum(9).BlockAddr(3), []byte("beta"))
+
+	snap := m.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d pages, want 2", len(snap))
+	}
+
+	// Mutating the snapshot must not alias the live image.
+	snap[addr.PageNum(1)][0] = 'X'
+	got := make([]byte, 5)
+	m.Read(addr.PageNum(1).BlockAddr(0), got)
+	if string(got) != "alpha" {
+		t.Fatalf("snapshot aliases the image: %q", got)
+	}
+	snap[addr.PageNum(1)][0] = 'a'
+
+	// Diverge the image, then restore the checkpoint.
+	m.Write(addr.PageNum(1).BlockAddr(0), []byte("gamma"))
+	m.Write(addr.PageNum(77).BlockAddr(0), []byte("extra"))
+	m.Restore(snap)
+	if m.ResidentPages() != 2 || m.PageResident(addr.PageNum(77)) {
+		t.Fatalf("restore kept diverged state: %d pages", m.ResidentPages())
+	}
+	m.Read(addr.PageNum(1).BlockAddr(0), got)
+	if string(got) != "alpha" {
+		t.Fatalf("restored contents = %q", got)
+	}
+
+	// Nil snapshot clears everything.
+	m.Restore(nil)
+	if m.ResidentPages() != 0 {
+		t.Fatal("Restore(nil) must clear the image")
+	}
+}
+
+func TestSnapshotRestoreDisabled(t *testing.T) {
+	m := New(false)
+	m.Write(0, []byte{1})
+	if m.Snapshot() != nil {
+		t.Fatal("disabled image must snapshot to nil")
+	}
+	m.Restore(map[addr.PageNum][]byte{addr.PageNum(1): make([]byte, addr.PageSize)})
+	if m.ResidentPages() != 0 {
+		t.Fatal("disabled image must ignore restored pages")
+	}
+}
+
+func TestForEachPageOrdered(t *testing.T) {
+	m := New(true)
+	for _, p := range []addr.PageNum{42, 7, 19} {
+		m.Write(p.BlockAddr(0), []byte{byte(p)})
+	}
+	var order []addr.PageNum
+	m.ForEachPage(func(p addr.PageNum, data *[addr.PageSize]byte) {
+		order = append(order, p)
+		if data[0] != byte(p) {
+			t.Fatalf("page %d holds %d", p, data[0])
+		}
+	})
+	if len(order) != 3 || order[0] != 7 || order[1] != 19 || order[2] != 42 {
+		t.Fatalf("walk order = %v, want ascending", order)
+	}
+}
