@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race faults obs fuzz cover bench bench-json bench-compare bench-smoke quick-experiments experiments examples clean
+.PHONY: all build test vet race faults obs banks fuzz cover bench bench-json bench-compare bench-smoke quick-experiments experiments examples clean
 
 all: build vet test race
 
@@ -52,6 +52,19 @@ obs:
 		| diff -u testdata/golden/shredsim_quick.txt -
 	$(GO) run ./cmd/experiments -quick -cores 2 -scale 64 -parallel 2 table2 fig5 2>/dev/null \
 		| diff -u testdata/golden/experiments_quick.txt -
+	$(MAKE) banks
+
+# Banked-controller gate, folded into tier-1 `race` via `obs`: the
+# concurrent controller datapath (-mc-workers) must reproduce the SAME
+# goldens byte for byte at any width — the refactor's determinism
+# contract — and the bank-geometry sweep must match its own golden.
+banks:
+	$(GO) run ./cmd/shredsim -quick -scale 64 -cores 2 -parallel 2 -mc-workers 8 -workload pagerank,mcf \
+		| diff -u testdata/golden/shredsim_quick.txt -
+	$(GO) run ./cmd/experiments -quick -cores 2 -scale 64 -parallel 2 -mc-workers 8 table2 fig5 2>/dev/null \
+		| diff -u testdata/golden/experiments_quick.txt -
+	$(GO) run ./cmd/experiments -quick -cores 2 -scale 64 -parallel 2 banks 2>/dev/null \
+		| diff -u testdata/golden/experiments_banks.txt -
 
 # Bounded fuzzing pass over the fuzz targets (seed corpora are committed
 # under testdata/fuzz). FUZZTIME bounds each target's run.
@@ -61,6 +74,7 @@ fuzz:
 	$(GO) test ./internal/oracle -run='^$$' -fuzz=FuzzOracleDifferential -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzCrashRecovery -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/ctr -run='^$$' -fuzz=FuzzPadEquivalence -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/oracle -run='^$$' -fuzz=FuzzBankSchedule -fuzztime=$(FUZZTIME)
 
 # Coverage over all packages; prints the per-function summary tail and
 # leaves cover.out for `go tool cover -html=cover.out`. The recorded
@@ -79,7 +93,7 @@ test-record:
 # masked benchmark failures behind tee's exit status; writing the file
 # directly and catting it afterwards preserves both the transcript and
 # the exit code.
-BENCH_JSON ?= BENCH_6.json
+BENCH_JSON ?= BENCH_7.json
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./... > bench_output.txt 2>&1 \
 		|| { cat bench_output.txt; exit 1; }
@@ -94,9 +108,9 @@ bench-json:
 
 # Diff two benchmark snapshots; fails on any ns/op regression past
 # THRESHOLD (ratio) or any allocs/op increase.
-#   make bench-compare BASE=BENCH_5.json NEW=BENCH_6.json [THRESHOLD=1.30]
+#   make bench-compare BASE=BENCH_6.json NEW=BENCH_7.json [THRESHOLD=1.30]
 BASE ?= BENCH_6.json
-NEW ?= bench_new.json
+NEW ?= BENCH_7.json
 THRESHOLD ?= 1.30
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare -threshold $(THRESHOLD) $(BASE) $(NEW)

@@ -250,12 +250,29 @@ func compareFiles(oldPath, newPath string, threshold float64) int {
 			status = "improved"
 		}
 		fmt.Printf("%-60s %12.1f -> %12.1f ns/op  %.2fx  %s\n", nb.Name, ob.NsPerOp, nb.NsPerOp, ratio, status)
-		if ob.AllocsPerOp != nil && nb.AllocsPerOp != nil && *nb.AllocsPerOp > *ob.AllocsPerOp {
+		if ob.AllocsPerOp != nil && nb.AllocsPerOp != nil && *nb.AllocsPerOp > allocsAllowed(*ob.AllocsPerOp) {
 			fmt.Printf("%-60s %12.0f -> %12.0f allocs/op        REGRESSION\n", nb.Name, *ob.AllocsPerOp, *nb.AllocsPerOp)
 			regressions++
 		}
 	}
 	fmt.Printf("compared %d benchmarks, %d regressions (threshold %.2fx)\n", compared, regressions, threshold)
+	return finishCompare(compared, regressions)
+}
+
+// allocsAllowed returns the highest allocs/op a new run may report
+// without counting as a regression. Zero-alloc paths are pinned exactly
+// (0 -> 1 always fails); nonzero baselines get one alloc of slack,
+// because allocs/op is total-allocations/b.N and one-time lazy
+// initialization amortized over a run-dependent b.N makes the rounded
+// value flip by one between identical binaries.
+func allocsAllowed(base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return base + 1
+}
+
+func finishCompare(compared, regressions int) int {
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no overlapping benchmarks to compare")
 		return 2

@@ -93,6 +93,35 @@ BenchmarkCachedPadHit-8   2000   50.0 ns/op   16 B/op   1 allocs/op
 		t.Fatalf("alloc regression exit = %d, want 1", code)
 	}
 
+	// Nonzero alloc baselines get one alloc of rounding slack (allocs/op
+	// is total/b.N, so one-time init flips the rounded value by one
+	// between identical binaries); two extra allocs still fail.
+	allocBase := write("allocbase.txt", `pkg: silentshredder/internal/sim
+BenchmarkProfileRun-8   150   7000.0 ns/op   700 B/op   285 allocs/op
+`)
+	allocBaseJSON := filepath.Join(dir, "allocbase.json")
+	if err := convert(allocBase, allocBaseJSON); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		allocs string
+		want   int
+	}{
+		{"286", 0},
+		{"287", 1},
+	} {
+		jitter := write("jitter.txt", `pkg: silentshredder/internal/sim
+BenchmarkProfileRun-8   151   7000.0 ns/op   700 B/op   `+tc.allocs+` allocs/op
+`)
+		jitterJSON := filepath.Join(dir, "jitter.json")
+		if err := convert(jitter, jitterJSON); err != nil {
+			t.Fatal(err)
+		}
+		if code := compareFiles(allocBaseJSON, jitterJSON, 1.30); code != tc.want {
+			t.Fatalf("285 -> %s allocs/op compare exit = %d, want %d", tc.allocs, code, tc.want)
+		}
+	}
+
 	// Error paths: empty input, missing file, disjoint benchmark sets.
 	empty := write("empty.txt", "goos: linux\n")
 	if err := convert(empty, filepath.Join(dir, "e.json")); err == nil {

@@ -8,7 +8,7 @@
 //
 // Experiments: table1 table2 fig4 fig5 fig8 fig9 fig10 fig11 fig12
 // ablation-iv ablation-dcw ablation-deuce ablation-wt ablation-merkle
-// faults crash energy export summary timeseries all
+// banks faults crash energy export summary timeseries all
 package main
 
 import (
@@ -35,6 +35,13 @@ func main() {
 		"worker goroutines for independent simulation runs (1 = sequential; output is byte-identical either way)")
 	flag.BoolVar(&o.Check, "check", false,
 		"run every machine under the architectural oracle and invariant sweeps (slow; violations abort the run)")
+	flag.IntVar(&o.MCWorkers, "mc-workers", 0,
+		"memory controller crypto-datapath workers per machine (0/1 = sequential; output is byte-identical for any value)")
+	flag.IntVar(&o.Banks, "banks", 0, "NVM banks per channel (0 keeps Table 1's 8)")
+	flag.IntVar(&o.BankQueueDepth, "bank-queue", 0,
+		"per-bank posted-write queue depth; > 0 enables the banked drain-scheduler device model")
+	flag.IntVar(&o.BankDrainBatch, "bank-drain", 0,
+		"writes drained back-to-back when a bank queue fills (0 = default batch)")
 	var workloads string
 	flag.StringVar(&workloads, "workloads", "", "comma-separated subset for fig8-fig11 (default: all 29)")
 	var format string
@@ -118,6 +125,8 @@ func main() {
 			fmt.Println(exper.AblationWTTable(exper.AblationWT(o)))
 		case "ablation-merkle":
 			fmt.Println(exper.AblationMerkleTable(exper.AblationMerkle(o)))
+		case "banks":
+			fmt.Println(exper.BanksTable(exper.Banks(o)))
 		case "faults":
 			rows, err := exper.FaultSweep(o, "lbm", 42, []float64{1, 4, 16})
 			if err != nil {
@@ -174,6 +183,7 @@ func main() {
 			fmt.Println(exper.AblationWTTable(exper.AblationWT(o)))
 			fmt.Println(exper.AblationWQTable(exper.AblationWQ(o)))
 			fmt.Println(exper.AblationMerkleTable(exper.AblationMerkle(o)))
+			fmt.Println(exper.BanksTable(exper.Banks(o)))
 			fmt.Println(exper.EnergyTable(comparison()))
 			printSummary(comparison())
 		default:
@@ -284,6 +294,9 @@ experiments:
   ablation-wt      write-back vs write-through counter cache
   ablation-writeq  zeroing write bursts blocking reads
   ablation-merkle  Bonsai Merkle integrity overhead
+  banks            bank/queue geometry sweep under the banked device model
+                   (per-bank write queues, drain batching, read-around;
+                   -banks/-bank-queue/-bank-drain/-mc-workers)
   faults           ECC corrections and retirements vs injected fault rate
   crash            crash-anywhere recovery validation sweep
   energy           NVM energy savings (the paper's power-reduction claim)

@@ -51,6 +51,10 @@ func main() {
 		saveNVM   = flag.String("save-nvm", "", "after the run, write a memory-state checkpoint (DIMM image) to this file (single workload only)")
 		check     = flag.Bool("check", false, "cross-check every load against the architectural oracle and sweep machine-wide invariants (slow; violations abort)")
 		faults    = flag.String("faults", "", "deterministic fault injection, seed:rate,... e.g. 42:stuck=1e-3,flip=1e-6,drop=1e-4,torn=1e-5,endur=1000 (enables ECC; \"off\" or empty disables)")
+		mcWorkers = flag.Int("mc-workers", 0, "memory controller crypto-datapath workers (0/1 = sequential; output is byte-identical for any value)")
+		banks     = flag.Int("banks", 0, "NVM banks per channel (0 keeps Table 1's 8)")
+		bankQueue = flag.Int("bank-queue", 0, "per-bank posted-write queue depth; > 0 enables the banked drain-scheduler device model")
+		bankDrain = flag.Int("bank-drain", 0, "writes drained back-to-back when a bank queue fills (0 = default batch)")
 		obsPhase  = flag.Bool("obs-phase", false, "print host wall-time phase/run timings to stderr after the sweep")
 	)
 	var obsFlags obscli.Flags
@@ -118,7 +122,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	o := exper.Options{Cores: *cores, Scale: *scale, Quick: *quick, Parallel: *parallel, Check: *check}
+	o := exper.Options{
+		Cores: *cores, Scale: *scale, Quick: *quick, Parallel: *parallel, Check: *check,
+		MCWorkers: *mcWorkers, Banks: *banks, BankQueueDepth: *bankQueue, BankDrainBatch: *bankDrain,
+	}
 	tweak := exper.MachineTweaks{
 		DEUCE:            *deuce,
 		Integrity:        *integrity,

@@ -41,6 +41,20 @@ type Options struct {
 	// sweeps to every machine (sim.Config.CheckOracle). Violations panic;
 	// expect a large slowdown. Implies the functional data path.
 	Check bool
+	// MCWorkers sets every machine's concurrent crypto datapath width
+	// (sim.Config.MCWorkers, the `-mc-workers` flag). Results are
+	// byte-identical for any value; 0 or 1 is fully sequential.
+	MCWorkers int
+	// Banks overrides the per-channel bank count (0 keeps Table 1's 8).
+	Banks int
+	// BankQueueDepth > 0 enables the banked drain-scheduler device model
+	// with per-bank bounded write queues of this depth (the
+	// `-bank-queue` flag). 0 keeps the legacy penalty heuristic — and
+	// byte-identical default output.
+	BankQueueDepth int
+	// BankDrainBatch sets the full-queue drain batch under the banked
+	// model (0 = nvm.DefaultBankDrainBatch).
+	BankDrainBatch int
 	// Profile, when non-nil, collects host wall-time phase timers and
 	// per-run duration histograms over every sweep run through this
 	// Options value (the `-obs-phase` flag). Host-time measurement only:
@@ -85,6 +99,22 @@ func isGraph(name string) bool {
 	return false
 }
 
+// applyMachine folds the Options device/controller geometry overrides
+// into a machine config (shared by machineFor and RunWorkloadTweaked so
+// every harness entry point honors the same flags).
+func (o Options) applyMachine(cfg *sim.Config) {
+	cfg.MCWorkers = o.MCWorkers
+	if o.Banks > 0 {
+		cfg.NVM.Banks = o.Banks
+	}
+	if o.BankQueueDepth > 0 {
+		cfg.NVM.BankQueueDepth = o.BankQueueDepth
+	}
+	if o.BankDrainBatch > 0 {
+		cfg.NVM.BankDrainBatch = o.BankDrainBatch
+	}
+}
+
 // machineFor builds a machine for one (workload, mode) run.
 func machineFor(o Options, name string, mode memctrl.Mode, zm kernel.ZeroMode) *sim.Machine {
 	cfg := sim.ScaledConfig(mode, zm, o.Scale)
@@ -92,6 +122,7 @@ func machineFor(o Options, name string, mode memctrl.Mode, zm kernel.ZeroMode) *
 	cfg.StoreData = isGraph(name)
 	cfg.MemPages = 1 << 20 // 4GB pool: experiments never OOM
 	cfg.CheckOracle = o.Check
+	o.applyMachine(&cfg)
 	return sim.MustNew(cfg)
 }
 
@@ -308,6 +339,7 @@ func RunWorkloadTweaked(o Options, name string, mode memctrl.Mode, zm kernel.Zer
 	}
 	cfg.Bus = t.Bus
 	cfg.EpochEvery = t.EpochEvery
+	o.applyMachine(&cfg)
 	m := sim.MustNew(cfg)
 	runConcurrent(o, m, name)
 	m.ObsFinish()

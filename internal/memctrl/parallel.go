@@ -1,0 +1,175 @@
+// Concurrent crypto datapath (Config.Workers > 1).
+//
+// The controller's bulk page operations — whole-page re-encryption on
+// minor-counter overflow, the baseline's 64-block page zeroing, and the
+// §4.2 option-one/-two shred scrambles — each touch all 64 blocks of a
+// page, and the dominant cost per block is pure: computing the AES
+// counter-mode pad and XORing it over the block. Everything else those
+// operations do (counter-cache accesses, integrity-tree updates, device
+// reads/writes, statistics) is stateful and order-sensitive.
+//
+// The concurrent datapath exploits exactly that split with a three-pass
+// structure per operation:
+//
+//	Pass 1 (sequential): all stateful per-block work — counter fetches
+//	  and bumps, Merkle updates, device reads — issued in precisely the
+//	  order the sequential controller issues them.
+//	Pass 2 (parallel):   the pure pad computations, fanned across
+//	  Config.Workers goroutines. Job i goes to worker i mod W; each
+//	  worker has a private ctr.Engine (the engine's pad cache and
+//	  scratch buffers are not safe for sharing) and writes only its own
+//	  disjoint plain[i] slots, so no synchronization beyond the final
+//	  join is needed. Because the device interleaves consecutive blocks
+//	  across channels (Channel(a) = block mod channels), setting
+//	  Workers to the channel count gives every worker goroutine exactly
+//	  one channel's blocks — worker-per-channel service.
+//	Pass 3 (sequential): the device write commits and statistics, again
+//	  in the sequential order — the deterministic commit order.
+//
+// Pads are pure functions of (key, page, block, major, minor), so the
+// three-pass result is byte-identical to the sequential path for any
+// worker count — the determinism contract the differential tests
+// (TestWorkersDifferential, exper's sweep differentials) enforce.
+//
+// Paths that would have to reorder stateful work to parallelize fall
+// back to the sequential implementation instead of weakening the
+// contract: DEUCE's dual-counter chunks (decryption consults per-epoch
+// state), the plaintext (DisableEncryption) datapath and timing-only
+// runs (nothing to parallelize), a page-zeroing whose minor counters
+// would overflow mid-loop (the re-encryption must interleave at the
+// exact block the sequential path triggers it), and any run with a
+// crash write-hook installed (a crash mid-operation must observe the
+// sequential path's exact intermediate counter state).
+package memctrl
+
+import (
+	"sync"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/clock"
+	"silentshredder/internal/ctr"
+)
+
+// cryptoFanOK reports whether bulk operations may use the parallel pad
+// passes: workers are configured and DEUCE (whose chunk decryption
+// consults mutable epoch state) is off.
+func (mc *Controller) cryptoFanOK() bool {
+	return mc.workers != nil && mc.deuce == nil
+}
+
+// zeroFanOK gates the concurrent zero-page path, which additionally
+// reorders counter bumps ahead of data writes (see zeroPageParallel).
+func (mc *Controller) zeroFanOK() bool {
+	return mc.cryptoFanOK() && !mc.cfg.DisableEncryption &&
+		mc.img.Enabled() && !mc.dev.HasWriteHook()
+}
+
+// cryptoFan runs job(engine, i) for every block index i of a page,
+// striped across the worker engines: worker w handles i ≡ w (mod W).
+// Jobs must write only per-i state; the fan provides no ordering between
+// workers beyond the final join.
+func (mc *Controller) cryptoFan(job func(eng *ctr.Engine, i int)) {
+	var wg sync.WaitGroup
+	w := len(mc.workers)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(k int) {
+			defer wg.Done()
+			for i := k; i < addr.BlocksPerPage; i += w {
+				job(mc.workers[k], i)
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
+// zeroPageParallel is ZeroPageDirect's concurrent path: encrypting 64
+// zero blocks is the baseline's entire shredding cost, and the pads are
+// independent.
+//
+// Pass 1 performs each block's counter work (fetch, bump, dirty-mark,
+// Merkle update) in the sequential order; pass 2 fans the 64 pad
+// encryptions; pass 3 commits the device writes in order. Relative to
+// the sequential path this moves counter bumps of later blocks ahead of
+// earlier blocks' data writes — invisible to statistics (the counter
+// cache sees the same 64 accesses with the same hit pattern, the device
+// the same write sequence) but observable by a crash landing mid-page,
+// which is why zeroFanOK requires no crash hook.
+func (mc *Controller) zeroPageParallel(p addr.PageNum) clock.Cycles {
+	mc.img.ZeroPage(p)
+	cb, lat := mc.getCounters(p)
+	for i := 0; i < addr.BlocksPerPage; i++ {
+		if cb.Minor[i] >= ctr.MinorMax {
+			// A bump would overflow mid-loop and force a page
+			// re-encryption interleaved at exactly that block; take the
+			// sequential path, reusing block 0's counter fetch so the
+			// cache access count stays identical.
+			lat = mc.writeBlockCauseCB(p.BlockAddr(0), true, cb, lat)
+			for j := 1; j < addr.BlocksPerPage; j++ {
+				lat += mc.writeBlockCause(p.BlockAddr(j), true)
+			}
+			mc.drainFaultWork()
+			return lat
+		}
+	}
+
+	// Pass 1: per-block counter work, sequential order. Block 0 reuses
+	// the fetch above; blocks 1..63 hit the just-installed line exactly
+	// like the sequential path's own getCounters calls.
+	var plain [addr.BlocksPerPage][addr.BlockSize]byte
+	for i := 0; i < addr.BlocksPerPage; i++ {
+		if i > 0 {
+			_, ctrLat := mc.getCounters(p)
+			lat += ctrLat
+		}
+		if cb.BumpMinor(i) {
+			panic("memctrl: minor overflow after zero-page pre-check")
+		}
+		mc.cc.MarkDirty(p)
+		mc.counterChanged(p, cb)
+		plain[i] = mc.img.ReadBlock(p.BlockAddr(i))
+	}
+
+	// Pass 2: pad fan.
+	major := cb.Major
+	minors := cb.Minor
+	mc.cryptoFan(func(eng *ctr.Engine, i int) {
+		eng.Encrypt(plain[i][:], p, i, major, minors[i])
+	})
+
+	// Pass 3: deterministic commit.
+	for i := 0; i < addr.BlocksPerPage; i++ {
+		lat += mc.writeData(p.BlockAddr(i), plain[i][:])
+		mc.dataWrites.Inc()
+		if d := mc.cfg.WriteQueueDepth; d > 0 && mc.writeQueue < d {
+			mc.writeQueue++
+		}
+		mc.zeroingWrites.Inc()
+	}
+	mc.drainFaultWork()
+	return lat
+}
+
+// scrambleImageParallel is scrambleImage's concurrent path: peek all
+// ciphertexts sequentially, mis-decrypt them under the new counters in
+// parallel, then commit the image writes in order.
+func (mc *Controller) scrambleImageParallel(p addr.PageNum, cb *ctr.CounterBlock) {
+	var bufs [addr.BlocksPerPage][addr.BlockSize]byte
+	for i := 0; i < addr.BlocksPerPage; i++ {
+		mc.peekData(p.BlockAddr(i), bufs[i][:])
+	}
+	major := cb.Major
+	minors := cb.Minor
+	mc.cryptoFan(func(eng *ctr.Engine, i int) {
+		if minors[i] != ctr.MinorShredded {
+			eng.Decrypt(bufs[i][:], p, i, major, minors[i])
+		}
+	})
+	for i := 0; i < addr.BlocksPerPage; i++ {
+		mc.img.Write(p.BlockAddr(i), bufs[i][:])
+	}
+}
+
+// NumWorkers returns the configured concurrent-datapath width (0 when
+// the controller runs fully sequential).
+func (mc *Controller) NumWorkers() int { return len(mc.workers) }

@@ -1,0 +1,227 @@
+package memctrl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/nvm"
+	"silentshredder/internal/physmem"
+	"silentshredder/internal/stats"
+)
+
+// workerMC builds a controller with the given concurrent-datapath width
+// over a banked-model device, with the functional data path and the
+// decrypt cross-check on (so any pad divergence between the sequential
+// and concurrent paths panics on the spot).
+func workerMC(t *testing.T, mode Mode, shred ShredOption, workers int) (*Controller, *nvm.Device, *physmem.Image) {
+	t.Helper()
+	dcfg := nvm.DefaultConfig()
+	dcfg.Channels = 2
+	dcfg.Banks = 2
+	dcfg.BankQueueDepth = 4
+	dev := nvm.New(dcfg)
+	img := physmem.New(true)
+	cfg := DefaultConfig(mode)
+	cfg.Shred = shred
+	cfg.Workers = workers
+	cfg.VerifyPlaintext = true
+	mc, err := New(cfg, dev, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mc, dev, img
+}
+
+// workerOps drives one deterministic op stream through a controller:
+// ordinary writebacks and reads, page zeroing via the mode's mechanism
+// (shred command or 64 direct writes), a §4.2 scramble when the shred
+// option calls for one, minor-counter overflow re-encryptions, and a
+// zero-page issued with counters one bump from overflow (the concurrent
+// path's pre-check fallback). Every bulk operation the concurrent
+// datapath touches runs at least once.
+func workerOps(t *testing.T, mc *Controller, img *physmem.Image) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	buf := make([]byte, addr.BlockSize)
+	pages := []addr.PageNum{3, 4, 5, 6}
+	for round := 0; round < 3; round++ {
+		for _, p := range pages {
+			for i := 0; i < addr.BlocksPerPage; i++ {
+				a := p.BlockAddr(i)
+				rng.Read(buf)
+				store(mc, img, a, buf)
+				if i%3 == 0 {
+					mc.ReadBlock(a, buf)
+				}
+			}
+		}
+		// Page turnover: shred (or zero-write) two pages per round.
+		for _, p := range pages[:2] {
+			if mc.Mode() == SilentShredder {
+				mc.Shred(p)
+			} else {
+				mc.ZeroPageDirect(p)
+			}
+		}
+	}
+	// Minor-counter overflow: hammer one block until the page re-encrypts
+	// (reads and writes of its siblings keep the page's state varied).
+	hot := addr.PageNum(7).BlockAddr(5)
+	for w := 0; w < 200; w++ {
+		rng.Read(buf)
+		store(mc, img, hot, buf)
+	}
+	// Zero-page with every minor one bump from the limit: the concurrent
+	// path must detect the pending overflow and take the sequential
+	// fallback mid-flight.
+	edge := addr.PageNum(8)
+	for w := 0; w < 127; w++ {
+		for i := 0; i < addr.BlocksPerPage; i += 16 {
+			rng.Read(buf)
+			store(mc, img, edge.BlockAddr(i), buf)
+		}
+	}
+	mc.ZeroPageDirect(edge)
+	mc.Flush()
+}
+
+// workerFingerprint reduces a run to a comparable string: the full stats
+// dump (controller, counter cache, device) plus a content probe of every
+// touched page.
+func workerFingerprint(mc *Controller, dev *nvm.Device, img *physmem.Image) string {
+	var reg stats.Registry
+	reg.Register(mc.StatsSet())
+	reg.Register(mc.CounterCache().StatsSet())
+	reg.Register(dev.StatsSet("nvm"))
+	out := reg.Dump()
+	buf := make([]byte, addr.BlockSize)
+	for p := addr.PageNum(3); p <= 8; p++ {
+		for i := 0; i < addr.BlocksPerPage; i++ {
+			mc.ReadBlock(p.BlockAddr(i), buf)
+			out += fmt.Sprintf("%d.%d:%x\n", p, i, buf)
+		}
+	}
+	return out
+}
+
+// TestWorkersDifferential is the controller-level determinism contract:
+// the same op stream through the sequential controller (Workers 0) and
+// the concurrent one at widths 1, 2, 3 and 8 must produce byte-identical
+// statistics and memory contents — for both personalities and for a
+// scramble-heavy §4.2 encoding.
+func TestWorkersDifferential(t *testing.T) {
+	cases := []struct {
+		name  string
+		mode  Mode
+		shred ShredOption
+	}{
+		{"shredder", SilentShredder, OptionReserveZero},
+		{"baseline", Baseline, OptionReserveZero},
+		{"inc-major-scramble", SilentShredder, OptionIncMajor},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var want string
+			for _, workers := range []int{0, 1, 2, 3, 8} {
+				mc, dev, img := workerMC(t, tc.mode, tc.shred, workers)
+				if got, exp := mc.NumWorkers(), workers; (exp > 1 && got != exp) || (exp <= 1 && got != 0) {
+					t.Fatalf("NumWorkers() = %d for Workers=%d", got, exp)
+				}
+				workerOps(t, mc, img)
+				fp := workerFingerprint(mc, dev, img)
+				if workers == 0 {
+					want = fp
+					continue
+				}
+				if fp != want {
+					t.Fatalf("workers=%d fingerprint diverges from sequential\n--- sequential ---\n%.2000s\n--- workers=%d ---\n%.2000s",
+						workers, want, workers, fp)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersDEUCEFallback pins the guard: DEUCE's epoch-stateful chunk
+// crypto cannot fan out, so a DEUCE controller must run sequential even
+// with Workers set — and still produce output identical to Workers 0.
+func TestWorkersDEUCEFallback(t *testing.T) {
+	run := func(workers int) string {
+		dev := nvm.New(nvm.DefaultConfig())
+		img := physmem.New(true)
+		cfg := DefaultConfig(Baseline)
+		cfg.DEUCE = true
+		cfg.Workers = workers
+		mc, err := New(cfg, dev, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc.cryptoFanOK() {
+			t.Fatal("cryptoFanOK() = true with DEUCE enabled")
+		}
+		workerOps(t, mc, img)
+		return workerFingerprint(mc, dev, img)
+	}
+	if run(0) != run(8) {
+		t.Fatal("DEUCE output diverges across worker counts")
+	}
+}
+
+// TestControllerBankStorm is the controller-level bank-storm gate: a
+// Workers=8 controller over a deliberately tiny banked device (every
+// queue two deep) services a stream that concentrates writes on one bank
+// while spraying reads, writes and shreds across all of them. Run under
+// `make race` this exercises the crypto fan's goroutines against the
+// per-bank locks; the bank invariants must hold throughout, and the
+// queues must drain to zero at quiesce.
+func TestControllerBankStorm(t *testing.T) {
+	dcfg := nvm.DefaultConfig()
+	dcfg.Channels = 2
+	dcfg.Banks = 4
+	dcfg.BankQueueDepth = 2
+	dev := nvm.New(dcfg)
+	img := physmem.New(true)
+	cfg := DefaultConfig(SilentShredder)
+	cfg.Workers = 8
+	cfg.VerifyPlaintext = true
+	mc, err := New(cfg, dev, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, addr.BlockSize)
+	for round := 0; round < 50; round++ {
+		p := addr.PageNum(10 + round%4)
+		for i := 0; i < addr.BlocksPerPage; i++ {
+			a := p.BlockAddr(i)
+			if i%2 == 0 {
+				// Even block indices of one channel concentrate on a
+				// single bank; odd ones spray.
+				a = addr.PageNum(10).BlockAddr(0)
+			}
+			rng.Read(buf)
+			store(mc, img, a, buf)
+			if rng.Intn(4) == 0 {
+				mc.ReadBlock(a, buf)
+			}
+		}
+		mc.Shred(p)
+		if err := dev.CheckBankInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if dev.DrainStalls() == 0 {
+		t.Error("storm produced no drain stalls on depth-2 queues; not a storm")
+	}
+	dev.Quiesce()
+	for b := 0; b < dev.NumBanks(); b++ {
+		if occ := dev.BankOccupancy(b); occ != 0 {
+			t.Fatalf("bank %d occupancy %d after quiesce, want 0", b, occ)
+		}
+	}
+	if err := dev.CheckBankInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

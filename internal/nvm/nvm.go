@@ -20,6 +20,7 @@ import (
 
 	"silentshredder/internal/addr"
 	"silentshredder/internal/clock"
+	"silentshredder/internal/obs"
 	"silentshredder/internal/stats"
 )
 
@@ -74,6 +75,21 @@ type Config struct {
 	// BankWindow is how many subsequent accesses a bank stays busy for
 	// (a logical-time stand-in for tRC at the modeled access rate).
 	BankWindow uint64
+
+	// BankQueueDepth > 0 replaces the passive penalty heuristic above
+	// with the banked drain scheduler (bank.go): every bank gets its own
+	// bounded posted-write queue of this depth, a busy-until timestamp,
+	// write-drain batching, and read-around-write. Off (0) by default so
+	// existing configurations keep byte-identical statistics.
+	BankQueueDepth int
+	// BankDrainBatch is how many queued writes a full bank drains
+	// back-to-back before admitting the stalled producer
+	// (0 = DefaultBankDrainBatch).
+	BankDrainBatch int
+	// BankArrival is the logical inter-arrival time the device clock
+	// advances per access under the banked model
+	// (0 = DefaultBankArrival).
+	BankArrival clock.Cycles
 
 	// Energy model (picojoules). PCM reads sense cells cheaply; writes
 	// pay per programmed cell, which is what makes eliminated writes and
@@ -168,12 +184,25 @@ type Device struct {
 
 	tick     uint64
 	bankLast []uint64 // logical tick of each bank's last access
+
+	// Banked drain-scheduler model (bank.go); nil = legacy heuristic.
+	sched   *bankSched
+	now     uint64 // device arrival clock, advanced BankArrival per access
+	arrival uint64
+
+	wqEnqueued, wqDrained      stats.Counter
+	wqDrainStalls, readArounds stats.Counter
+	wqOccupancy                stats.Histogram
+	bus                        *obs.Bus
 }
 
 // New creates a device. Channels must be at least 1.
 func New(cfg Config) *Device {
 	if cfg.Channels < 1 {
 		cfg.Channels = 1
+	}
+	if cfg.BankQueueDepth > 0 && cfg.Banks < 1 {
+		cfg.Banks = 1 // the banked scheduler needs at least one bank
 	}
 	d := &Device{
 		cfg:        cfg,
@@ -185,8 +214,19 @@ func New(cfg Config) *Device {
 	if cfg.Banks > 0 {
 		d.bankLast = make([]uint64, cfg.Channels*cfg.Banks)
 	}
+	if cfg.BankQueueDepth > 0 {
+		d.sched = newBankSched(cfg.Channels*cfg.Banks, cfg)
+		d.arrival = uint64(cfg.BankArrival)
+		if d.arrival == 0 {
+			d.arrival = uint64(DefaultBankArrival)
+		}
+	}
 	return d
 }
+
+// SetBus attaches the observability event bus (nil disables). The device
+// emits bank-conflict and drain-stall events under the banked model.
+func (d *Device) SetBus(b *obs.Bus) { d.bus = b }
 
 // dataPage returns page p's storage if materialized.
 func (d *Device) dataPage(p addr.PageNum) *[addr.PageSize]byte {
@@ -248,6 +288,12 @@ func (d *Device) Injector() Injector { return d.inj }
 // panics guarantees the in-flight write never reached the device.
 func (d *Device) SetWriteHook(fn func(a addr.Phys)) { d.writeHook = fn }
 
+// HasWriteHook reports whether a write hook (crash scheduler) is
+// installed. The controller's concurrent zero-page path falls back to the
+// strictly sequential order when one is, so a crash can never observe
+// counter state that the sequential path would not have produced.
+func (d *Device) HasWriteHook() bool { return d.writeHook != nil }
+
 // Channel returns the channel servicing block address a (block-interleaved).
 func (d *Device) Channel(a addr.Phys) int {
 	return int(a>>addr.BlockShift) % d.cfg.Channels
@@ -263,6 +309,48 @@ func (d *Device) Bank(a addr.Phys) int {
 	blk := uint64(a) >> addr.BlockShift
 	ch := int(blk) % d.cfg.Channels
 	return ch*d.cfg.Banks + int(blk/uint64(d.cfg.Channels))%d.cfg.Banks
+}
+
+// accessDelay schedules one access on the active bank model and returns
+// the extra latency it experienced beyond the raw cell access. It is a
+// thin inlinable dispatcher so the legacy path stays a single direct
+// call from the block I/O hot loop.
+func (d *Device) accessDelay(a addr.Phys, isWrite bool) clock.Cycles {
+	if d.sched == nil {
+		return d.bankDelay(a)
+	}
+	return d.bankedDelay(a, isWrite)
+}
+
+// bankedDelay runs one access through the banked drain scheduler and
+// folds the outcome into the device statistics.
+func (d *Device) bankedDelay(a addr.Phys, isWrite bool) clock.Cycles {
+	b := d.Bank(a)
+	t := d.now
+	d.now += d.arrival
+	var oc bankOutcome
+	if isWrite {
+		oc = d.sched.write(b, t)
+		d.wqEnqueued.Inc()
+	} else {
+		oc = d.sched.read(b, t)
+	}
+	if oc.Conflict {
+		d.bankConflicts.Inc()
+		d.bus.Emit(obs.EvBankConflict, uint64(a), uint64(oc.Extra))
+	}
+	if oc.ReadAround {
+		d.readArounds.Inc()
+	}
+	if oc.DrainStall {
+		d.wqDrainStalls.Inc()
+		d.bus.Emit(obs.EvWQDrainStall, uint64(a), uint64(oc.Extra))
+	}
+	if oc.Drained > 0 {
+		d.wqDrained.Add(uint64(oc.Drained))
+	}
+	d.wqOccupancy.Observe(float64(oc.Occupancy))
+	return oc.Extra
 }
 
 // bankDelay advances logical time and returns the extra latency if the
@@ -288,7 +376,7 @@ func (d *Device) ReadBlock(a addr.Phys, dst []byte) clock.Cycles {
 	a = a.Block()
 	d.reads.Inc()
 	d.perChannel[d.Channel(a)].Inc()
-	bankExtra := d.bankDelay(a)
+	bankExtra := d.accessDelay(a, false)
 	if d.cfg.StoreData && dst != nil {
 		if pg := d.dataPage(a.Page()); pg != nil {
 			off := a.PageOffset()
@@ -346,7 +434,7 @@ func (d *Device) WriteBlock(a addr.Phys, src []byte) clock.Cycles {
 		// write never reached the cells.
 		d.writeHook(a)
 	}
-	bankExtra := d.bankDelay(a)
+	bankExtra := d.accessDelay(a, true)
 	if !d.cfg.StoreData || src == nil {
 		// Timing-only mode: every write programs the full block.
 		d.accountWrite(a, addr.BlockSize*8, addr.BlockSize*8)
@@ -616,6 +704,15 @@ func (d *Device) ResetStats() {
 	for i := range d.perChannel {
 		d.perChannel[i].Reset()
 	}
+	d.wqEnqueued.Reset()
+	d.wqDrained.Reset()
+	d.wqDrainStalls.Reset()
+	d.readArounds.Reset()
+	d.wqOccupancy.Reset()
+	if d.sched != nil {
+		d.sched.reset()
+		d.now = 0
+	}
 }
 
 // StatsSet exposes the device statistics under the given component name.
@@ -629,5 +726,16 @@ func (d *Device) StatsSet(name string) *stats.Set {
 	s.RegisterCounter("bank_conflicts", &d.bankConflicts)
 	s.RegisterFunc("energy_pj", d.EnergyPJ)
 	s.RegisterFunc("max_wear", func() float64 { return float64(d.maxWear) })
+	if d.sched != nil {
+		// Banked-model stats are registered only when the scheduler is
+		// active so legacy configurations keep byte-identical dumps.
+		s.RegisterCounter("wq_enqueued", &d.wqEnqueued)
+		s.RegisterCounter("wq_drained", &d.wqDrained)
+		s.RegisterCounter("wq_drain_stalls", &d.wqDrainStalls)
+		s.RegisterCounter("read_around_writes", &d.readArounds)
+		s.RegisterFunc("wq_occupancy_mean", d.wqOccupancy.Mean)
+		s.RegisterFunc("wq_occupancy_max", d.wqOccupancy.Max)
+		s.RegisterFunc("wq_occupancy_p99", func() float64 { return d.wqOccupancy.Quantile(0.99) })
+	}
 	return s
 }

@@ -83,6 +83,14 @@ const (
 	// of a shred command (Figure 6, step 2). Addr = physical page base,
 	// Arg = blocks found resident.
 	EvPageInval
+	// EvBankConflict: a device access arrived at a busy bank under the
+	// banked write-queue model. Addr = physical block address, Arg =
+	// extra stall cycles charged.
+	EvBankConflict
+	// EvWQDrainStall: a posted write found its bank's bounded queue full
+	// and waited for a drain batch. Addr = physical block address, Arg =
+	// stall cycles until the batch retired.
+	EvWQDrainStall
 
 	kindMax
 )
@@ -110,6 +118,8 @@ var kindNames = [kindMax]string{
 	EvFaultDrop:        "fault_drop",
 	EvFaultTorn:        "fault_torn",
 	EvPageInval:        "page_inval",
+	EvBankConflict:     "bank_conflict",
+	EvWQDrainStall:     "wq_drain_stall",
 }
 
 // String returns the event kind's stable name (used in exported

@@ -198,6 +198,9 @@ func (m *Machine) RunInvariantSweep() error {
 	if err := m.MC.CounterCache().CheckCoherence(); err != nil {
 		return err
 	}
+	if err := m.MC.Device().CheckBankInvariants(); err != nil {
+		return err
+	}
 	if err := m.MC.CheckIntegrity(); err != nil {
 		return err
 	}

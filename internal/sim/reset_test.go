@@ -89,6 +89,25 @@ func TestResetStatsZeroesEveryRegisteredStat(t *testing.T) {
 		{"baseline", func() Config {
 			return testConfig(memctrl.Baseline, kernel.ZeroNonTemporal)
 		}},
+		{"banked", func() Config {
+			// Banked drain-scheduler device + concurrent controller: the
+			// new per-bank stats (wq_enqueued, wq_drained, drain stalls,
+			// occupancy histogram funcs) must zero like everything else,
+			// and the per-bank queues/busy timestamps must clear the same
+			// way mc.writeQueue does.
+			cfg := testConfig(memctrl.SilentShredder, kernel.ZeroShred)
+			cfg.NVM.Banks = 4
+			cfg.NVM.BankQueueDepth = 4
+			cfg.MCWorkers = 2
+			return cfg
+		}},
+		{"banked-baseline", func() Config {
+			cfg := testConfig(memctrl.Baseline, kernel.ZeroNonTemporal)
+			cfg.NVM.Banks = 1 // pathological: all traffic on one queue per channel
+			cfg.NVM.BankQueueDepth = 2
+			cfg.MCWorkers = 2
+			return cfg
+		}},
 		{"faulty", func() Config {
 			cfg := testConfig(memctrl.SilentShredder, kernel.ZeroShred)
 			cfg.VerifyPlaintext = false // faults legitimately corrupt data
@@ -163,5 +182,24 @@ func TestRegistryPathsStable(t *testing.T) {
 	// Dump must not mention obs anywhere: observability adds no stats.
 	if s := fm.Registry().Dump(); strings.Contains(s, "obs") {
 		t.Errorf("registry dump mentions obs:\n%s", s)
+	}
+	// Banked-model stats are conditional on BankQueueDepth the same way
+	// ECC stats are conditional on faults: absent on the default machine
+	// (dump stability) …
+	if _, ok := reg.Lookup("nvm.wq_enqueued"); ok {
+		t.Error("nvm.wq_enqueued registered on a legacy-model machine")
+	}
+	// … and present once the banked scheduler is enabled.
+	bcfg := testConfig(memctrl.SilentShredder, kernel.ZeroShred)
+	bcfg.NVM.BankQueueDepth = 8
+	bm := MustNew(bcfg)
+	for _, path := range []string{
+		"nvm.wq_enqueued", "nvm.wq_drained", "nvm.wq_drain_stalls",
+		"nvm.read_around_writes", "nvm.wq_occupancy_mean",
+		"nvm.wq_occupancy_max", "nvm.wq_occupancy_p99",
+	} {
+		if _, ok := bm.Registry().Lookup(path); !ok {
+			t.Errorf("registry path %q missing on a banked-model machine", path)
+		}
 	}
 }
