@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race faults obs banks fuzz cover bench bench-json bench-compare bench-smoke quick-experiments experiments examples clean
+.PHONY: all build test vet race faults obs banks adversary fuzz cover bench bench-json bench-compare bench-smoke quick-experiments experiments examples clean
 
 all: build vet test race
 
@@ -27,7 +27,7 @@ test:
 # oracle-checked short workload sweeps (exper.TestCheckedWorkloadSweeps
 # and the sim/oracle differential tests), so every merge re-validates the
 # architectural contract under -race.
-race: vet faults obs bench-smoke
+race: vet faults obs adversary bench-smoke
 	$(GO) test -race ./...
 
 # Robustness gate, folded into tier-1 `race`: the fault-injection and
@@ -65,6 +65,23 @@ banks:
 		| diff -u testdata/golden/experiments_quick.txt -
 	$(GO) run ./cmd/experiments -quick -cores 2 -scale 64 -parallel 2 banks 2>/dev/null \
 		| diff -u testdata/golden/experiments_banks.txt -
+
+# Adversary gate, folded into tier-1 `race`: the persistence-attack
+# matrix (remanence / scavenger / replay attackers vs every personality
+# and shred policy) must reproduce its committed golden byte for byte at
+# any sweep width, and the leakscan adversarial driver's JSON report
+# must match its golden with the leak verdict (exit 1) intact — the
+# encrypted/zero-cost defender is SUPPOSED to lose to the stale-counter
+# replayer. Regenerate after an intentional change with the same
+# commands redirected into the golden files.
+adversary:
+	$(GO) run ./cmd/experiments -quick -cores 2 -scale 64 -parallel 1 adversary 2>/dev/null \
+		| diff -u testdata/golden/experiments_adversary.txt -
+	$(GO) run ./cmd/experiments -quick -cores 2 -scale 64 -parallel 4 adversary 2>/dev/null \
+		| diff -u testdata/golden/experiments_adversary.txt -
+	@out=$$($(GO) run ./cmd/leakscan -attack replay -personality encrypted -format json 2>/dev/null); st=$$?; \
+		if [ $$st -ne 1 ]; then echo "leakscan -attack: exit $$st, want 1 (leak verdict)"; exit 1; fi; \
+		printf '%s\n' "$$out" | diff -u cmd/leakscan/testdata/attack_replay_encrypted.json -
 
 # Bounded fuzzing pass over the fuzz targets (seed corpora are committed
 # under testdata/fuzz). FUZZTIME bounds each target's run.

@@ -8,7 +8,7 @@
 //
 // Experiments: table1 table2 fig4 fig5 fig8 fig9 fig10 fig11 fig12
 // ablation-iv ablation-dcw ablation-deuce ablation-wt ablation-merkle
-// banks faults crash energy export summary timeseries all
+// banks faults crash adversary energy export summary timeseries all
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"strings"
 
+	"silentshredder/internal/adversary"
 	"silentshredder/internal/exper"
 	"silentshredder/internal/kernel"
 	"silentshredder/internal/memctrl"
@@ -141,6 +142,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println(exper.CrashSweepTable(rows))
+		case "adversary":
+			rows, err := exper.AdversaryMatrix(o, 42, adversary.AllAttackers())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(exper.AdversaryTable(rows))
 		case "energy":
 			fmt.Println(exper.EnergyTable(comparison()))
 		case "summary":
@@ -184,6 +192,12 @@ func main() {
 			fmt.Println(exper.AblationWQTable(exper.AblationWQ(o)))
 			fmt.Println(exper.AblationMerkleTable(exper.AblationMerkle(o)))
 			fmt.Println(exper.BanksTable(exper.Banks(o)))
+			if rows, err := exper.AdversaryMatrix(o, 42, adversary.AllAttackers()); err == nil {
+				fmt.Println(exper.AdversaryTable(rows))
+			} else {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			fmt.Println(exper.EnergyTable(comparison()))
 			printSummary(comparison())
 		default:
@@ -299,6 +313,8 @@ experiments:
                    -banks/-bank-queue/-bank-drain/-mc-workers)
   faults           ECC corrections and retirements vs injected fault rate
   crash            crash-anywhere recovery validation sweep
+  adversary        persistence-attack matrix: remanence / scavenger / replay
+                   attackers vs every (personality, shred-policy) cell
   energy           NVM energy savings (the paper's power-reduction claim)
   export           comparison data as text/csv/json (see -format)
   summary          averages vs the paper's headline numbers

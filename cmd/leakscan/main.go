@@ -20,6 +20,17 @@
 //
 //	leakscan -crash 16 -seed 42
 //
+// With -attack the tool becomes the adversarial driver: it runs the
+// internal/adversary engine — the remanence reader, the crash-window
+// scavenger and the stale-counter replayer — against one defender
+// personality (-personality plain|encrypted|merkle) under one physical
+// shred policy (-policy zero-cost|duty-to-delete|multi-pass) and
+// reports each attacker's score. Any recovered pre-shred byte exits
+// nonzero.
+//
+//	leakscan -attack all -personality merkle -policy zero-cost
+//	leakscan -attack replay -personality encrypted -format json
+//
 // -format json replaces the human narration with one JSON findings
 // report on stdout (same exit codes), for CI and downstream tooling.
 package main
@@ -29,11 +40,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sort"
 
 	"silentshredder/internal/addr"
+	"silentshredder/internal/adversary"
 	"silentshredder/internal/kernel"
 	"silentshredder/internal/memctrl"
 	"silentshredder/internal/obs"
@@ -42,39 +55,72 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, dispatches the
+// selected mode, and returns the process exit code (0 clean, 1 leak or
+// runtime failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("leakscan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		image   = flag.String("image", "", "DIMM image / checkpoint file (required unless -crash)")
-		pattern = flag.String("pattern", "", "plaintext pattern to scan for")
-		entropy = flag.Bool("entropy", false, "print per-page byte-entropy summary")
-		scale   = flag.Int("scale", 64, "cache scale of the machine the image is loaded into")
-		crash   = flag.Int("crash", 0, "scan post-crash recovered images: power-cut a seeded workload at this many write indices")
-		seed    = flag.Int64("seed", 42, "workload seed for -crash")
-		format  = flag.String("format", "text", "findings report: text | json")
+		image   = fs.String("image", "", "DIMM image / checkpoint file (required unless -crash or -attack)")
+		pattern = fs.String("pattern", "", "plaintext pattern to scan for")
+		entropy = fs.Bool("entropy", false, "print per-page byte-entropy summary")
+		scale   = fs.Int("scale", 64, "cache scale of the simulated machine")
+		crash   = fs.Int("crash", 0, "scan post-crash recovered images: power-cut a seeded workload at this many write indices")
+		seed    = fs.Int64("seed", 42, "workload seed for -crash and -attack")
+		attack  = fs.String("attack", "", "run the adversary engine: all or a comma-separated subset of remanence,scavenger,replay")
+		pers    = fs.String("personality", "merkle", "defender personality for -attack: plain | encrypted | merkle")
+		policy  = fs.String("policy", "zero-cost", "physical shred policy for -attack: zero-cost | duty-to-delete | multi-pass")
+		format  = fs.String("format", "text", "findings report: text | json")
 	)
 	var profCfg obs.ProfileConfig
-	profCfg.RegisterFlags(flag.CommandLine)
-	flag.Parse()
+	profCfg.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	switch *format {
 	case "text", "json":
 	default:
-		fatal(fmt.Sprintf("unknown format %q (want text or json)", *format))
+		fmt.Fprintf(stderr, "leakscan: unknown format %q (want text or json)\n", *format)
+		return 2
 	}
 	stopProf, perr := profCfg.Start()
 	if perr != nil {
-		fatal(perr.Error())
+		fmt.Fprintln(stderr, "leakscan: "+perr.Error())
+		return 1
 	}
 	defer stopProf()
 
+	if *attack != "" {
+		attacks, err := adversary.ParseAttackers(*attack)
+		if err != nil {
+			fmt.Fprintln(stderr, "leakscan: "+err.Error())
+			return 2
+		}
+		p, err := adversary.ParsePersonality(*pers)
+		if err != nil {
+			fmt.Fprintln(stderr, "leakscan: "+err.Error())
+			return 2
+		}
+		pol, err := memctrl.ParseShredPolicy(*policy)
+		if err != nil {
+			fmt.Fprintln(stderr, "leakscan: "+err.Error())
+			return 2
+		}
+		return attackScan(stdout, stderr, *scale, *seed, p, pol, attacks, *format)
+	}
 	if *crash > 0 {
-		crashScan(*scale, *seed, *crash, *format)
-		return
+		return crashScan(stdout, stderr, *scale, *seed, *crash, *format)
 	}
 	if *image == "" || (*pattern == "" && !*entropy) {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
-	imageScan(*image, *pattern, *entropy, *scale, *format)
+	return imageScan(stdout, stderr, *image, *pattern, *entropy, *scale, *format)
 }
 
 // entropyPage is one page's byte-entropy finding.
@@ -94,10 +140,11 @@ type imageReport struct {
 	Highest      *entropyPage  `json:"highest_entropy_page,omitempty"`
 }
 
-func imageScan(image, pattern string, entropy bool, scale int, format string) {
+func imageScan(stdout, stderr io.Writer, image, pattern string, entropy bool, scale int, format string) int {
 	f, err := os.Open(image)
 	if err != nil {
-		fatal(err.Error())
+		fmt.Fprintln(stderr, "leakscan: "+err.Error())
+		return 1
 	}
 	defer f.Close()
 
@@ -108,10 +155,12 @@ func imageScan(image, pattern string, entropy bool, scale int, format string) {
 	cfg.Hier.Cores = 1
 	m, err := sim.New(cfg)
 	if err != nil {
-		fatal(err.Error())
+		fmt.Fprintln(stderr, "leakscan: "+err.Error())
+		return 1
 	}
 	if err := m.LoadMemoryState(f); err != nil {
-		fatal(err.Error())
+		fmt.Fprintln(stderr, "leakscan: "+err.Error())
+		return 1
 	}
 
 	rep := imageReport{Image: image, Pattern: pattern, LeakPages: []uint64{}}
@@ -121,7 +170,7 @@ func imageScan(image, pattern string, entropy bool, scale int, format string) {
 		if pattern != "" && bytes.Contains(data[:], []byte(pattern)) {
 			rep.LeakPages = append(rep.LeakPages, uint64(p))
 			if format == "text" {
-				fmt.Printf("LEAK: pattern found in page %v\n", p)
+				fmt.Fprintf(stdout, "LEAK: pattern found in page %v\n", p)
 			}
 		}
 		if entropy {
@@ -140,32 +189,37 @@ func imageScan(image, pattern string, entropy bool, scale int, format string) {
 	}
 
 	if format == "json" {
-		writeJSON(rep)
-		if !rep.Clean {
-			os.Exit(1)
+		if err := writeJSON(stdout, rep); err != nil {
+			fmt.Fprintln(stderr, "leakscan: "+err.Error())
+			return 1
 		}
-		return
+		if !rep.Clean {
+			return 1
+		}
+		return 0
 	}
 
-	fmt.Printf("scanned %d resident pages\n", rep.PagesScanned)
+	fmt.Fprintf(stdout, "scanned %d resident pages\n", rep.PagesScanned)
+	code := 0
 	if pattern != "" {
 		if rep.Clean {
-			fmt.Printf("pattern %q not found: the DIMM holds no such plaintext\n", pattern)
+			fmt.Fprintf(stdout, "pattern %q not found: the DIMM holds no such plaintext\n", pattern)
 		} else {
-			fmt.Printf("%d page(s) leak the pattern\n", len(rep.LeakPages))
-			os.Exit(1)
+			fmt.Fprintf(stdout, "%d page(s) leak the pattern\n", len(rep.LeakPages))
+			code = 1
 		}
 	}
 	if entropy {
-		fmt.Println("\nlowest-entropy pages (plaintext and zeroed pages rank lowest):")
+		fmt.Fprintln(stdout, "\nlowest-entropy pages (plaintext and zeroed pages rank lowest):")
 		for _, e := range rep.Lowest {
-			fmt.Printf("  %v  %.3f bits/byte\n", addr.PageNum(e.Page), e.BitsPerByte)
+			fmt.Fprintf(stdout, "  %v  %.3f bits/byte\n", addr.PageNum(e.Page), e.BitsPerByte)
 		}
 		if rep.Highest != nil {
-			fmt.Printf("highest: %v  %.3f bits/byte (ciphertext approaches 8.0)\n",
+			fmt.Fprintf(stdout, "highest: %v  %.3f bits/byte (ciphertext approaches 8.0)\n",
 				addr.PageNum(rep.Highest.Page), rep.Highest.BitsPerByte)
 		}
 	}
+	return code
 }
 
 // crashCut is one crash point's finding.
@@ -197,7 +251,7 @@ type crashReport struct {
 // image for pre-shred plaintext. The scan itself is the persistent-state
 // projection check: every fingerprintable 64-byte block of every page a
 // completed shred cleared is forbidden to resurface.
-func crashScan(scale int, seed int64, points int, format string) {
+func crashScan(stdout, stderr io.Writer, scale int, seed int64, points int, format string) int {
 	w := oracle.Generate(oracle.DefaultGenConfig(seed))
 	cfg := sim.ScaledConfig(memctrl.SilentShredder, kernel.ZeroShred, scale)
 	cfg.Hier.Cores = 2
@@ -208,11 +262,12 @@ func crashScan(scale int, seed int64, points int, format string) {
 	// Quiescent run: measures the write-index domain of the schedule.
 	_, base, err := sim.ReplayToCrash(cfg, w, ^uint64(0))
 	if err != nil {
-		fatal(err.Error())
+		fmt.Fprintln(stderr, "leakscan: "+err.Error())
+		return 1
 	}
 	rep := crashReport{Seed: seed, Points: points, DeviceWrites: base.Writes, Forbidden: base.Forbidden}
 	if format == "text" {
-		fmt.Printf("workload seed %d: %d device writes, %d forbidden pre-shred fingerprints\n",
+		fmt.Fprintf(stdout, "workload seed %d: %d device writes, %d forbidden pre-shred fingerprints\n",
 			seed, base.Writes, base.Forbidden)
 	}
 
@@ -231,7 +286,7 @@ func crashScan(scale int, seed int64, points int, format string) {
 			rep.Leaks++
 			rep.Cuts = append(rep.Cuts, cut)
 			if format == "text" {
-				fmt.Printf("LEAK at %s (op %d): %v\n", label, out.OpIndex, err)
+				fmt.Fprintf(stdout, "LEAK at %s (op %d): %v\n", label, out.OpIndex, err)
 			}
 			continue
 		}
@@ -243,32 +298,94 @@ func crashScan(scale int, seed int64, points int, format string) {
 			if !out.Crashed {
 				state = "clean cut"
 			}
-			fmt.Printf("  %-16s %s, recovered image clean (%d pages scanned)\n", label+":", state, cut.PagesScanned)
+			fmt.Fprintf(stdout, "  %-16s %s, recovered image clean (%d pages scanned)\n", label+":", state, cut.PagesScanned)
 		}
 	}
 	rep.Clean = rep.Leaks == 0
 
 	if format == "json" {
-		writeJSON(rep)
-		if !rep.Clean {
-			os.Exit(1)
+		if err := writeJSON(stdout, rep); err != nil {
+			fmt.Fprintln(stderr, "leakscan: "+err.Error())
+			return 1
 		}
-		return
+		if !rep.Clean {
+			return 1
+		}
+		return 0
 	}
 	if rep.Leaks > 0 {
-		fmt.Printf("%d crash point(s) leaked pre-shred plaintext\n", rep.Leaks)
-		os.Exit(1)
+		fmt.Fprintf(stdout, "%d crash point(s) leaked pre-shred plaintext\n", rep.Leaks)
+		return 1
 	}
-	fmt.Printf("no pre-shred plaintext resurfaced at any of %d crash points\n", points+1)
+	fmt.Fprintf(stdout, "no pre-shred plaintext resurfaced at any of %d crash points\n", points+1)
+	return 0
+}
+
+// attackReport is the machine-readable result of an -attack run.
+type attackReport struct {
+	adversary.Result
+	TotalLeaked int  `json:"total_leaked_bytes"`
+	Clean       bool `json:"clean"`
+}
+
+// attackScan is the adversarial-driver mode: run the selected attackers
+// against one (personality, policy) defender and score the results. The
+// exit code is 1 exactly when any attacker recovered forbidden bytes.
+func attackScan(stdout, stderr io.Writer, scale int, seed int64, pers adversary.Personality,
+	policy memctrl.ShredPolicy, attacks []adversary.Attacker, format string) int {
+	res, err := adversary.Run(adversary.Config{
+		Seed:        seed,
+		Scale:       scale,
+		Personality: pers,
+		Policy:      policy,
+	}, attacks)
+	if err != nil {
+		fmt.Fprintln(stderr, "leakscan: "+err.Error())
+		return 1
+	}
+	rep := attackReport{Result: res, TotalLeaked: res.TotalLeaked(), Clean: res.TotalLeaked() == 0}
+
+	if format == "json" {
+		if err := writeJSON(stdout, rep); err != nil {
+			fmt.Fprintln(stderr, "leakscan: "+err.Error())
+			return 1
+		}
+		if !rep.Clean {
+			return 1
+		}
+		return 0
+	}
+
+	fmt.Fprintf(stdout, "adversary: %s defender, %s shredding, seed %d (%d forbidden fingerprints)\n",
+		res.Personality, res.Policy, res.Seed, res.Stats.Forbidden)
+	fmt.Fprintf(stdout, "  run cost: %d shreds, %d scrub writes, %d device writes\n",
+		res.Stats.ShredCommands, res.Stats.ScrubWrites, res.Stats.DeviceWrites)
+	for _, o := range []*adversary.Outcome{res.Remanence, res.Scavenger, res.Replay} {
+		if o == nil {
+			continue
+		}
+		switch {
+		case o.Detected:
+			fmt.Fprintf(stdout, "  %-10s %d attempt(s), DETECTED: %s\n", o.Attacker+":", o.Attempts, o.Detection)
+		case o.LeakedBytes > 0:
+			fmt.Fprintf(stdout, "  %-10s %d attempt(s), LEAKED %d byte(s)\n", o.Attacker+":", o.Attempts, o.LeakedBytes)
+		default:
+			fmt.Fprintf(stdout, "  %-10s %d attempt(s), defeated (0 bytes recovered)\n", o.Attacker+":", o.Attempts)
+		}
+	}
+	if !rep.Clean {
+		fmt.Fprintf(stdout, "ATTACK SUCCEEDED: %d pre-shred byte(s) recovered\n", rep.TotalLeaked)
+		return 1
+	}
+	fmt.Fprintln(stdout, "no attacker recovered any pre-shred byte")
+	return 0
 }
 
 // writeJSON renders one findings report to stdout.
-func writeJSON(v any) {
-	enc := json.NewEncoder(os.Stdout)
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		fatal(err.Error())
-	}
+	return enc.Encode(v)
 }
 
 // byteEntropy computes the Shannon entropy of the page in bits per byte.
@@ -287,9 +404,4 @@ func byteEntropy(data []byte) float64 {
 		h -= p * math.Log2(p)
 	}
 	return h
-}
-
-func fatal(msg string) {
-	fmt.Fprintln(os.Stderr, "leakscan: "+msg)
-	os.Exit(1)
 }

@@ -51,6 +51,7 @@ func main() {
 		saveNVM   = flag.String("save-nvm", "", "after the run, write a memory-state checkpoint (DIMM image) to this file (single workload only)")
 		check     = flag.Bool("check", false, "cross-check every load against the architectural oracle and sweep machine-wide invariants (slow; violations abort)")
 		faults    = flag.String("faults", "", "deterministic fault injection, seed:rate,... e.g. 42:stuck=1e-3,flip=1e-6,drop=1e-4,torn=1e-5,endur=1000 (enables ECC; \"off\" or empty disables)")
+		shredPol  = flag.String("shred-policy", "zero-cost", "physical shred policy: zero-cost | duty-to-delete | multi-pass (overwrite invalidated pages on the device)")
 		mcWorkers = flag.Int("mc-workers", 0, "memory controller crypto-datapath workers (0/1 = sequential; output is byte-identical for any value)")
 		banks     = flag.Int("banks", 0, "NVM banks per channel (0 keeps Table 1's 8)")
 		bankQueue = flag.Int("bank-queue", 0, "per-bank posted-write queue depth; > 0 enables the banked drain-scheduler device model")
@@ -71,6 +72,11 @@ func main() {
 	defer stopProf()
 
 	faultCfg, err := fault.Parse(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
+		os.Exit(2)
+	}
+	policy, err := memctrl.ParseShredPolicy(*shredPol)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
 		os.Exit(2)
@@ -131,6 +137,7 @@ func main() {
 		Integrity:        *integrity,
 		CounterCacheSize: *ccSize,
 		WriteThrough:     *wt,
+		Policy:           policy,
 		Faults:           faultCfg,
 		EpochEvery:       obsFlags.Epoch,
 	}

@@ -1,0 +1,223 @@
+package adversary
+
+import (
+	"reflect"
+	"testing"
+
+	"silentshredder/internal/memctrl"
+	"silentshredder/internal/obs"
+)
+
+func runCell(t *testing.T, pers string, pol memctrl.ShredPolicy, bus *obs.Bus) Result {
+	t.Helper()
+	p, err := ParsePersonality(pers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Seed:            42,
+		Personality:     p,
+		Policy:          pol,
+		RemanencePoints: 1,
+		ScavengerMax:    2,
+		Bus:             bus,
+	}, AllAttackers())
+	if err != nil {
+		t.Fatalf("%s/%s: %v", pers, pol, err)
+	}
+	return res
+}
+
+// TestMatrixPlainZeroCost: no encryption, no scrub — the remanence
+// reader recovers the shredded secret's plaintext straight off the
+// cells, and the counter replay resurrects it through the recovery
+// path. The classic worst case.
+func TestMatrixPlainZeroCost(t *testing.T) {
+	res := runCell(t, "plain", memctrl.PolicyZeroCost, nil)
+	if res.Remanence.LeakedBytes == 0 {
+		t.Error("plain/zero-cost must leak remnant plaintext to the remanence reader")
+	}
+	if !res.Replay.Vulnerable || res.Replay.LeakedBytes == 0 {
+		t.Errorf("plain/zero-cost replay = %+v, want vulnerable with a leak", res.Replay)
+	}
+	if res.Stats.ScrubWrites != 0 {
+		t.Errorf("zero-cost issued %d scrub writes, want 0", res.Stats.ScrubWrites)
+	}
+	if res.Stats.Forbidden == 0 {
+		t.Error("workload produced no forbidden fingerprints; the attack scores are vacuous")
+	}
+}
+
+// TestMatrixEncryptedZeroCost: counter-mode encryption defeats the
+// remanence reader and the crash-window scavenger, but zero-cost
+// shredding leaves the ciphertext for the stale-counter replayer.
+func TestMatrixEncryptedZeroCost(t *testing.T) {
+	res := runCell(t, "encrypted", memctrl.PolicyZeroCost, nil)
+	if res.Remanence.LeakedBytes != 0 {
+		t.Errorf("encryption must blind the remanence reader, leaked %d", res.Remanence.LeakedBytes)
+	}
+	if res.Scavenger.LeakedBytes != 0 {
+		t.Errorf("crash-safe shredding must defeat the scavenger, leaked %d", res.Scavenger.LeakedBytes)
+	}
+	if res.Scavenger.Attempts == 0 {
+		t.Error("scavenger found no shred windows to cut; the defense claim is vacuous")
+	}
+	if !res.Replay.Vulnerable || res.Replay.LeakedBytes == 0 {
+		t.Errorf("encrypted/zero-cost replay = %+v, want vulnerable with the secret leaked", res.Replay)
+	}
+	if res.TotalLeaked() != res.Replay.LeakedBytes {
+		t.Errorf("TotalLeaked = %d, want the replay leak %d alone", res.TotalLeaked(), res.Replay.LeakedBytes)
+	}
+}
+
+// TestMatrixEncryptedScrub: the overwrite policies destroy the
+// ciphertext, so even the replayer recovers nothing — at the cost of
+// real device writes the stats must expose.
+func TestMatrixEncryptedScrub(t *testing.T) {
+	for _, pol := range []memctrl.ShredPolicy{memctrl.PolicyDutyToDelete, memctrl.PolicyMultiPass} {
+		res := runCell(t, "encrypted", pol, nil)
+		if res.TotalLeaked() != 0 {
+			t.Errorf("%v leaked %d bytes, want 0", pol, res.TotalLeaked())
+		}
+		if res.Replay.Detected {
+			t.Errorf("%v has no integrity tree yet detected the replay", pol)
+		}
+		if res.Stats.ScrubWrites == 0 {
+			t.Errorf("%v reported no scrub writes", pol)
+		}
+	}
+}
+
+// TestMatrixMerkle: the Merkle personality detects the counter replay
+// with the typed error and leaks nothing to any attacker, under every
+// policy.
+func TestMatrixMerkle(t *testing.T) {
+	for _, pol := range []memctrl.ShredPolicy{memctrl.PolicyZeroCost, memctrl.PolicyDutyToDelete} {
+		res := runCell(t, "merkle", pol, nil)
+		if !res.Replay.Detected {
+			t.Fatalf("merkle/%v failed to detect the counter replay", pol)
+		}
+		if res.Replay.Detection == "" {
+			t.Error("detection must carry the typed error's message")
+		}
+		if res.Replay.Vulnerable {
+			t.Error("a detecting defender must not be scored vulnerable")
+		}
+		if res.TotalLeaked() != 0 {
+			t.Errorf("merkle/%v leaked %d bytes, want 0", pol, res.TotalLeaked())
+		}
+	}
+}
+
+// TestDeterminism: a Result is a pure function of its Config — two runs
+// must agree exactly, including every attempt count and leak total.
+func TestDeterminism(t *testing.T) {
+	a := runCell(t, "encrypted", memctrl.PolicyDutyToDelete, nil)
+	b := runCell(t, "encrypted", memctrl.PolicyDutyToDelete, nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical configs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestAttackerSubset: Run only scores the attackers it was asked for.
+func TestAttackerSubset(t *testing.T) {
+	p, _ := ParsePersonality("encrypted")
+	res, err := Run(Config{Seed: 42, Personality: p, RemanencePoints: 1, ScavengerMax: 2},
+		[]Attacker{AttackReplay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Remanence != nil || res.Scavenger != nil {
+		t.Error("unselected attackers must stay nil")
+	}
+	if res.Replay == nil {
+		t.Fatal("selected attacker missing from the result")
+	}
+}
+
+// TestBusEvents: the engine narrates itself — one attack_attempt per
+// attempt, attack_detected on the Merkle detection, attack_leak on
+// every recovered-bytes event, all in engine program order.
+func TestBusEvents(t *testing.T) {
+	bus := obs.NewBus(obs.Config{RingCap: 1 << 12})
+	res := runCell(t, "merkle", memctrl.PolicyZeroCost, bus)
+
+	counts := map[obs.Kind]int{}
+	for _, ev := range bus.Events() {
+		counts[ev.Kind]++
+	}
+	attempts := res.Remanence.Attempts + res.Scavenger.Attempts + res.Replay.Attempts
+	if counts[obs.EvAttackAttempt] != attempts {
+		t.Errorf("attack_attempt events = %d, want %d", counts[obs.EvAttackAttempt], attempts)
+	}
+	if counts[obs.EvAttackDetected] != 1 {
+		t.Errorf("attack_detected events = %d, want 1", counts[obs.EvAttackDetected])
+	}
+	if counts[obs.EvAttackLeak] != 0 {
+		t.Errorf("attack_leak events = %d, want 0 on the detecting defender", counts[obs.EvAttackLeak])
+	}
+
+	bus = obs.NewBus(obs.Config{RingCap: 1 << 12})
+	res = runCell(t, "encrypted", memctrl.PolicyZeroCost, bus)
+	var leaked uint64
+	for _, ev := range bus.Events() {
+		if ev.Kind == obs.EvAttackLeak {
+			leaked += ev.Arg
+		}
+	}
+	if leaked != uint64(res.TotalLeaked()) {
+		t.Errorf("attack_leak events total %d bytes, result says %d", leaked, res.TotalLeaked())
+	}
+}
+
+func TestParseAttackers(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []Attacker
+		ok   bool
+	}{
+		{"", AllAttackers(), true},
+		{"all", AllAttackers(), true},
+		{"replay", []Attacker{AttackReplay}, true},
+		{"scavenger, remanence", []Attacker{AttackScavenger, AttackRemanence}, true},
+		{"replay,replay", []Attacker{AttackReplay}, true},
+		{"evil", nil, false},
+		{"replay,", nil, false},
+	} {
+		got, err := ParseAttackers(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseAttackers(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseAttackers(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParsePersonality(t *testing.T) {
+	for _, name := range []string{"plain", "encrypted", "merkle"} {
+		p, err := ParsePersonality(name)
+		if err != nil || p.Name != name {
+			t.Errorf("ParsePersonality(%q) = %+v, %v", name, p, err)
+		}
+	}
+	if _, err := ParsePersonality("armored"); err == nil {
+		t.Error("unknown personality must be rejected")
+	}
+	if len(Personalities()) != 3 {
+		t.Errorf("Personalities() = %d entries, want 3", len(Personalities()))
+	}
+}
+
+func TestAttackerString(t *testing.T) {
+	for _, a := range AllAttackers() {
+		round, err := ParseAttackers(a.String())
+		if err != nil || len(round) != 1 || round[0] != a {
+			t.Errorf("%v does not round-trip: %v %v", a, round, err)
+		}
+	}
+	if got := Attacker(99).String(); got != "attacker(99)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}

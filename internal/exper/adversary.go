@@ -1,0 +1,93 @@
+// Adversary matrix: the attack-surface counterpart to the crash sweep.
+// Every defender personality (plain, encrypted, Merkle) runs every
+// physical shred policy (zero-cost, duty-to-delete, multi-pass) against
+// the three persistence-based attackers in internal/adversary, scoring
+// both sides of the trade-off: what each attacker recovers and what the
+// policy's overwrite passes cost in device writes.
+package exper
+
+import (
+	"fmt"
+
+	"silentshredder/internal/adversary"
+	"silentshredder/internal/memctrl"
+	"silentshredder/internal/stats"
+)
+
+// adversaryPolicies is the policy axis of the matrix, cheapest first.
+var adversaryPolicies = []memctrl.ShredPolicy{
+	memctrl.PolicyZeroCost,
+	memctrl.PolicyDutyToDelete,
+	memctrl.PolicyMultiPass,
+}
+
+// AdversaryMatrix runs the selected attackers against every
+// (personality, policy) cell. Each cell is an independent seeded engine
+// run, so the matrix fans out across the sweep worker pool; rows come
+// back in canonical order (personalities weakest first, policies
+// cheapest first) regardless of worker count.
+func AdversaryMatrix(o Options, seed int64, attacks []adversary.Attacker) ([]adversary.Result, error) {
+	o = o.normalized()
+	type cell struct {
+		pers adversary.Personality
+		pol  memctrl.ShredPolicy
+	}
+	var cells []cell
+	for _, pers := range adversary.Personalities() {
+		for _, pol := range adversaryPolicies {
+			cells = append(cells, cell{pers, pol})
+		}
+	}
+	type out struct {
+		res adversary.Result
+		err error
+	}
+	outs := runSweep(o, len(cells), func(i int) out {
+		res, err := adversary.Run(adversary.Config{
+			Seed:        seed,
+			Personality: cells[i].pers,
+			Policy:      cells[i].pol,
+		}, attacks)
+		return out{res, err}
+	})
+	rows := make([]adversary.Result, len(outs))
+	for i, r := range outs {
+		if r.err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", cells[i].pers.Name, cells[i].pol, r.err)
+		}
+		rows[i] = r.res
+	}
+	return rows, nil
+}
+
+// adversaryOutcome renders one attacker's verdict column pair.
+func adversaryOutcome(o *adversary.Outcome) (verdict string, leaked any) {
+	if o == nil {
+		return "-", "-"
+	}
+	switch {
+	case o.Detected:
+		verdict = "detected"
+	case o.LeakedBytes > 0:
+		verdict = "LEAKED"
+	default:
+		verdict = "defeated"
+	}
+	return verdict, o.LeakedBytes
+}
+
+// AdversaryTable renders the attack matrix.
+func AdversaryTable(rows []adversary.Result) *stats.Table {
+	t := stats.NewTable(
+		"Adversary matrix: bytes recovered per attacker vs shred-policy write cost",
+		"personality", "policy", "scrub_wr", "dev_writes", "forbidden",
+		"remanence", "reman_B", "scavenger", "scav_B", "replay", "replay_B")
+	for _, r := range rows {
+		rv, rb := adversaryOutcome(r.Remanence)
+		sv, sb := adversaryOutcome(r.Scavenger)
+		pv, pb := adversaryOutcome(r.Replay)
+		t.AddRow(r.Personality, r.Policy, r.Stats.ScrubWrites, r.Stats.DeviceWrites,
+			r.Stats.Forbidden, rv, rb, sv, sb, pv, pb)
+	}
+	return t
+}

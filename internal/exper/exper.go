@@ -298,6 +298,10 @@ type MachineTweaks struct {
 	CounterCacheSize int // bytes; 0 keeps the scaled Table 1 size
 	WriteThrough     bool
 
+	// Policy selects the physical shred policy (memctrl/policy.go); the
+	// zero value keeps the paper's zero-cost behavior.
+	Policy memctrl.ShredPolicy
+
 	// Faults enables the deterministic fault injector (zero value = perfect
 	// device). Forces the functional data path and the ECC layer on.
 	Faults fault.Config
@@ -324,6 +328,7 @@ func RunWorkloadTweaked(o Options, name string, mode memctrl.Mode, zm kernel.Zer
 	cfg.MemPages = 1 << 20
 	cfg.MemCtrl.DEUCE = t.DEUCE
 	cfg.MemCtrl.Integrity = t.Integrity
+	cfg.MemCtrl.Policy = t.Policy
 	cfg.MemCtrl.CounterCache.WriteThrough = t.WriteThrough
 	cfg.CheckOracle = o.Check
 	if t.CounterCacheSize > 0 {

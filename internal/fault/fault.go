@@ -32,6 +32,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -120,6 +121,7 @@ func Parse(spec string) (Config, error) {
 		return c, fmt.Errorf("fault: bad seed %q: %v", spec[:colon], err)
 	}
 	c.Seed = seed
+	seen := map[string]bool{}
 	for _, kv := range strings.Split(spec[colon+1:], ",") {
 		kv = strings.TrimSpace(kv)
 		if kv == "" {
@@ -130,6 +132,12 @@ func Parse(spec string) (Config, error) {
 			return Config{}, fmt.Errorf("fault: bad rate %q: want key=value", kv)
 		}
 		key, val := kv[:eq], kv[eq+1:]
+		if seen[key] {
+			// A duplicate is almost always a typo'd sweep script; silently
+			// letting the last one win would misreport the injected rates.
+			return Config{}, fmt.Errorf("fault: rate key %q given twice", key)
+		}
+		seen[key] = true
 		if key == "endur" {
 			n, err := strconv.ParseUint(val, 10, 64)
 			if err != nil {
@@ -139,7 +147,8 @@ func Parse(spec string) (Config, error) {
 			continue
 		}
 		f, err := strconv.ParseFloat(val, 64)
-		if err != nil || f < 0 || f > 1 {
+		// NaN fails both ordered comparisons, so reject it explicitly.
+		if err != nil || math.IsNaN(f) || f < 0 || f > 1 {
 			return Config{}, fmt.Errorf("fault: rate %s=%q: want a probability in [0,1]", key, val)
 		}
 		switch key {
@@ -154,6 +163,11 @@ func Parse(spec string) (Config, error) {
 		default:
 			return Config{}, fmt.Errorf("fault: unknown rate key %q (want stuck, flip, drop, torn or endur)", key)
 		}
+	}
+	if len(seen) == 0 {
+		// "42:" would otherwise parse as a fully disabled injector — a
+		// sweep that thinks it is injecting faults but isn't.
+		return Config{}, fmt.Errorf("fault: spec %q names no rates: want seed:rate=value,... or \"off\"", spec)
 	}
 	return c, nil
 }

@@ -41,10 +41,27 @@ func TestParseErrors(t *testing.T) {
 		"42:flip=-0.1",        // negative
 		"42:endur=1.5",        // non-integer endurance
 		"42:stuck=notanumber", // unparsable
+		"42:flip=NaN",         // NaN slips past ordered range checks
+		"42:flip=nan",
+		"42:flip=+Inf",             // infinity is not a probability
+		"42:",                      // seed with no rates: silently-disabled trap
+		"42:,",                     // ditto, only empty items
+		"42:stuck=1e-3,stuck=1e-2", // duplicate key would silently override
+		"42:endur=100,endur=200",   // duplicates rejected for endur too
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q): expected error, got nil", spec)
 		}
+	}
+
+	// Explicit zero rates are allowed (they are not the silent-disable
+	// trap: the user wrote them out), and stray commas stay harmless.
+	c, err := Parse("42:stuck=0,flip=1e-6,")
+	if err != nil {
+		t.Fatalf("explicit zero rate rejected: %v", err)
+	}
+	if c.StuckPerWrite != 0 || c.ReadFlip != 1e-6 || c.Seed != 42 {
+		t.Errorf("parsed %+v", c)
 	}
 }
 

@@ -1,0 +1,40 @@
+package integrity
+
+import (
+	"fmt"
+
+	"silentshredder/internal/addr"
+	"silentshredder/internal/ctr"
+)
+
+// ReplayError reports that a counter block failed authentication against
+// the Merkle root: the persisted counters are not the ones the root
+// covers. Since the root lives in a tamper-proof on-chip register and
+// survives power loss, the only way to reach this state is physical
+// tampering with the counter region — in particular a stale-counter
+// replay, where an attacker restores a pre-shred counter snapshot to
+// decrypt remnant ciphertext. Controllers must refuse to come online.
+type ReplayError struct {
+	// Page is the first page (in ascending page order) whose counter
+	// block fails authentication.
+	Page addr.PageNum
+	// Major is the replayed counter block's major counter, as found in
+	// the counter region.
+	Major uint64
+}
+
+func (e *ReplayError) Error() string {
+	return fmt.Sprintf("integrity: counter block of %v (major=%d) fails authentication against the Merkle root: stale or forged counters replayed", e.Page, e.Major)
+}
+
+// Authenticate verifies page p's counter block against the current root
+// and returns a typed *ReplayError on mismatch. Like ConsistentWith it
+// is statistics-neutral: recovery-time audits must not perturb the
+// measured verification counts.
+func (t *Tree) Authenticate(p addr.PageNum, block [ctr.CounterBlockSize]byte) error {
+	if t.ConsistentWith(p, block) {
+		return nil
+	}
+	cb := ctr.DecodeCounterBlock(block)
+	return &ReplayError{Page: p, Major: cb.Major}
+}

@@ -394,6 +394,18 @@ func (k *Kernel) fault(core int, p *Process, vpn addr.VPageNum) clock.Cycles {
 func ClearPhysPage(cfg Config, h *hier.Hierarchy, core int, mode ZeroMode, ppn addr.PageNum) clock.Cycles {
 	mc := h.Controller()
 	var lat clock.Cycles
+	if mode != ZeroNone {
+		// Physical shred policy (memctrl/policy.go): overwrite the NVM
+		// cells before the logical clear. A no-op under the default
+		// zero-cost policy; under duty-to-delete/multi-pass the core pays
+		// store-buffer occupancy per scrubbed line, like NT zeroing. The
+		// scrub runs first so a crash anywhere inside it leaves the shred
+		// uncommitted — recovery sees stale garbage, never a half-cleared
+		// page that claims to be shredded.
+		if writes := mc.ScrubPage(ppn); writes > 0 {
+			lat += memctrl.ScrubLatency(writes, h.Config().NTStoreCycles)
+		}
+	}
 	switch mode {
 	case ZeroTemporal:
 		// 64 ordinary stores through the hierarchy: write-allocate,

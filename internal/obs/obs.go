@@ -91,6 +91,18 @@ const (
 	// and waited for a drain batch. Addr = physical block address, Arg =
 	// stall cycles until the batch retired.
 	EvWQDrainStall
+	// EvAttackAttempt: the adversary engine launched one attack attempt
+	// (a power-off cut, a crash-window cut, or a counter replay).
+	// Addr = the attempt's cut index or victim page, Arg = the attacker
+	// kind (adversary.Attacker).
+	EvAttackAttempt
+	// EvAttackDetected: the integrity layer detected the attack (typed
+	// integrity.ReplayError). Addr = the offending page's address,
+	// Arg = the attacker kind.
+	EvAttackDetected
+	// EvAttackLeak: an attack recovered forbidden (pre-shred) bytes.
+	// Addr = the attacker kind, Arg = total bytes leaked by the attempt.
+	EvAttackLeak
 
 	kindMax
 )
@@ -120,6 +132,9 @@ var kindNames = [kindMax]string{
 	EvPageInval:        "page_inval",
 	EvBankConflict:     "bank_conflict",
 	EvWQDrainStall:     "wq_drain_stall",
+	EvAttackAttempt:    "attack_attempt",
+	EvAttackDetected:   "attack_detected",
+	EvAttackLeak:       "attack_leak",
 }
 
 // String returns the event kind's stable name (used in exported
