@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race faults obs banks adversary fuzz cover bench bench-json bench-compare bench-smoke quick-experiments experiments examples clean
+.PHONY: all build test vet race faults obs banks adversary merkle fuzz cover bench bench-json bench-compare bench-smoke quick-experiments experiments examples clean
 
 all: build vet test race
 
@@ -27,7 +27,7 @@ test:
 # oracle-checked short workload sweeps (exper.TestCheckedWorkloadSweeps
 # and the sim/oracle differential tests), so every merge re-validates the
 # architectural contract under -race.
-race: vet faults obs adversary bench-smoke
+race: vet faults obs adversary merkle bench-smoke
 	$(GO) test -race ./...
 
 # Robustness gate, folded into tier-1 `race`: the fault-injection and
@@ -83,6 +83,24 @@ adversary:
 		if [ $$st -ne 1 ]; then echo "leakscan -attack: exit $$st, want 1 (leak verdict)"; exit 1; fi; \
 		printf '%s\n' "$$out" | diff -u cmd/leakscan/testdata/attack_replay_encrypted.json -
 
+# Integrity-engine gate, folded into tier-1 `race`: the per-level Merkle
+# sweep must reproduce its golden byte for byte at any sweep width and
+# any controller width (the per-level figure is rebuilt from the event
+# bus, so this pins the engines' event streams too), and the adversary
+# matrix must be invariant under the cached engine — lazy root
+# maintenance may move hash work, never detection outcomes. Regenerate
+# the golden after an intentional change with the first command
+# redirected into testdata/golden/experiments_merkle.txt.
+merkle:
+	$(GO) run ./cmd/experiments -quick -cores 2 -scale 64 -parallel 1 merkle 2>/dev/null \
+		| diff -u testdata/golden/experiments_merkle.txt -
+	$(GO) run ./cmd/experiments -quick -cores 2 -scale 64 -parallel 4 merkle 2>/dev/null \
+		| diff -u testdata/golden/experiments_merkle.txt -
+	$(GO) run ./cmd/experiments -quick -cores 2 -scale 64 -parallel 2 -mc-workers 8 merkle 2>/dev/null \
+		| diff -u testdata/golden/experiments_merkle.txt -
+	$(GO) run ./cmd/experiments -quick -cores 2 -scale 64 -parallel 1 -integrity-engine cached adversary 2>/dev/null \
+		| diff -u testdata/golden/experiments_adversary.txt -
+
 # Bounded fuzzing pass over the fuzz targets (seed corpora are committed
 # under testdata/fuzz). FUZZTIME bounds each target's run.
 FUZZTIME ?= 20s
@@ -92,6 +110,7 @@ fuzz:
 	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzCrashRecovery -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/ctr -run='^$$' -fuzz=FuzzPadEquivalence -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/oracle -run='^$$' -fuzz=FuzzBankSchedule -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/integrity -run='^$$' -fuzz=FuzzEngineEquivalence -fuzztime=$(FUZZTIME)
 
 # Coverage over all packages; prints the per-function summary tail and
 # leaves cover.out for `go tool cover -html=cover.out`. The recorded
@@ -110,7 +129,7 @@ test-record:
 # masked benchmark failures behind tee's exit status; writing the file
 # directly and catting it afterwards preserves both the transcript and
 # the exit code.
-BENCH_JSON ?= BENCH_7.json
+BENCH_JSON ?= BENCH_9.json
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./... > bench_output.txt 2>&1 \
 		|| { cat bench_output.txt; exit 1; }
@@ -125,9 +144,9 @@ bench-json:
 
 # Diff two benchmark snapshots; fails on any ns/op regression past
 # THRESHOLD (ratio) or any allocs/op increase.
-#   make bench-compare BASE=BENCH_6.json NEW=BENCH_7.json [THRESHOLD=1.30]
-BASE ?= BENCH_6.json
-NEW ?= BENCH_7.json
+#   make bench-compare BASE=BENCH_7.json NEW=BENCH_9.json [THRESHOLD=1.30]
+BASE ?= BENCH_7.json
+NEW ?= BENCH_9.json
 THRESHOLD ?= 1.30
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare -threshold $(THRESHOLD) $(BASE) $(NEW)

@@ -264,12 +264,22 @@ func compareFiles(oldPath, newPath string, threshold float64) int {
 // (0 -> 1 always fails); nonzero baselines get one alloc of slack,
 // because allocs/op is total-allocations/b.N and one-time lazy
 // initialization amortized over a run-dependent b.N makes the rounded
-// value flip by one between identical binaries.
+// value flip by one between identical binaries. Baselines in the
+// thousands (the parallel-sweep benchmarks, where one op is a whole
+// multi-goroutine sweep) additionally get 0.1% relative slack:
+// goroutine scheduling moves a few allocations between identical
+// binaries, and a fixed ±1 would flap on exactly the benchmarks whose
+// counts are largest. A real leak is per-op and blows through 0.1%
+// immediately.
 func allocsAllowed(base float64) float64 {
 	if base == 0 {
 		return 0
 	}
-	return base + 1
+	slack := base * 0.001
+	if slack < 1 {
+		slack = 1
+	}
+	return base + slack
 }
 
 func finishCompare(compared, regressions int) int {

@@ -141,3 +141,25 @@ BenchmarkUnrelated-8   10   1.0 ns/op
 		t.Fatal("no overlapping benchmarks must exit 2")
 	}
 }
+
+func TestAllocsAllowed(t *testing.T) {
+	cases := []struct {
+		base, newVal float64
+		ok           bool
+	}{
+		{0, 0, true},
+		{0, 1, false}, // zero-alloc paths are pinned exactly
+		{2, 3, true},  // one alloc of rounding slack
+		{2, 4, false}, // two is a real new allocation
+		{285, 286, true},
+		{285, 288, false},
+		{8829, 8833, true},  // sweep benchmark: 0.1% relative slack covers scheduling jitter
+		{8829, 8839, false}, // but a per-op leak still fails
+		{29274, 29276, true},
+	}
+	for _, c := range cases {
+		if got := c.newVal <= allocsAllowed(c.base); got != c.ok {
+			t.Errorf("allocsAllowed(%v) vs %v: pass=%v, want %v", c.base, c.newVal, got, c.ok)
+		}
+	}
+}

@@ -8,7 +8,7 @@
 //
 // Experiments: table1 table2 fig4 fig5 fig8 fig9 fig10 fig11 fig12
 // ablation-iv ablation-dcw ablation-deuce ablation-wt ablation-merkle
-// banks faults crash adversary energy export summary timeseries all
+// banks faults crash adversary merkle energy export summary timeseries all
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 
 	"silentshredder/internal/adversary"
 	"silentshredder/internal/exper"
+	"silentshredder/internal/integrity"
 	"silentshredder/internal/kernel"
 	"silentshredder/internal/memctrl"
 	"silentshredder/internal/obs"
@@ -43,6 +44,8 @@ func main() {
 		"per-bank posted-write queue depth; > 0 enables the banked drain-scheduler device model")
 	flag.IntVar(&o.BankDrainBatch, "bank-drain", 0,
 		"writes drained back-to-back when a bank queue fills (0 = default batch)")
+	integrityEngine := flag.String("integrity-engine", "eager",
+		"integrity engine for Merkle-enabled machines: eager | cached (output is engine-invariant where pinned by goldens)")
 	var workloads string
 	flag.StringVar(&workloads, "workloads", "", "comma-separated subset for fig8-fig11 (default: all 29)")
 	var format string
@@ -60,6 +63,13 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+
+	engine, err := integrity.ParseEngineKind(*integrityEngine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	o.IntegrityEngine = engine
 
 	stopProf, err := profCfg.Start()
 	if err != nil {
@@ -149,6 +159,10 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println(exper.AdversaryTable(rows))
+		case "merkle":
+			rows := exper.MerkleSweep(o, 42)
+			fmt.Println(exper.MerkleTable(rows))
+			fmt.Println(exper.MerkleLevelTable(rows))
 		case "energy":
 			fmt.Println(exper.EnergyTable(comparison()))
 		case "summary":
@@ -192,6 +206,11 @@ func main() {
 			fmt.Println(exper.AblationWQTable(exper.AblationWQ(o)))
 			fmt.Println(exper.AblationMerkleTable(exper.AblationMerkle(o)))
 			fmt.Println(exper.BanksTable(exper.Banks(o)))
+			{
+				rows := exper.MerkleSweep(o, 42)
+				fmt.Println(exper.MerkleTable(rows))
+				fmt.Println(exper.MerkleLevelTable(rows))
+			}
 			if rows, err := exper.AdversaryMatrix(o, 42, adversary.AllAttackers()); err == nil {
 				fmt.Println(exper.AdversaryTable(rows))
 			} else {
@@ -315,6 +334,8 @@ experiments:
   crash            crash-anywhere recovery validation sweep
   adversary        persistence-attack matrix: remanence / scavenger / replay
                    attackers vs every (personality, shred-policy) cell
+  merkle           integrity-engine comparison: eager vs cached/coalesced
+                   hash traffic per tree level over one checked workload
   energy           NVM energy savings (the paper's power-reduction claim)
   export           comparison data as text/csv/json (see -format)
   summary          averages vs the paper's headline numbers

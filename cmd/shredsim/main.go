@@ -25,6 +25,7 @@ import (
 
 	"silentshredder/internal/exper"
 	"silentshredder/internal/fault"
+	intg "silentshredder/internal/integrity"
 	"silentshredder/internal/kernel"
 	"silentshredder/internal/memctrl"
 	"silentshredder/internal/obs"
@@ -46,6 +47,7 @@ func main() {
 
 		deuce     = flag.Bool("deuce", false, "enable DEUCE partial re-encryption")
 		integrity = flag.Bool("integrity", false, "enable the Bonsai Merkle counter tree")
+		intEngine = flag.String("integrity-engine", "eager", "integrity engine when the Merkle tree is enabled: eager | cached")
 		ccSize    = flag.Int("counter-cache", 0, "counter cache bytes (0 = Table 1 / scale)")
 		wt        = flag.Bool("write-through", false, "write-through counter cache (no battery needed)")
 		saveNVM   = flag.String("save-nvm", "", "after the run, write a memory-state checkpoint (DIMM image) to this file (single workload only)")
@@ -77,6 +79,11 @@ func main() {
 		os.Exit(2)
 	}
 	policy, err := memctrl.ParseShredPolicy(*shredPol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
+		os.Exit(2)
+	}
+	engine, err := intg.ParseEngineKind(*intEngine)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
 		os.Exit(2)
@@ -131,6 +138,7 @@ func main() {
 	o := exper.Options{
 		Cores: *cores, Scale: *scale, Quick: *quick, Parallel: *parallel, Check: *check,
 		MCWorkers: *mcWorkers, Banks: *banks, BankQueueDepth: *bankQueue, BankDrainBatch: *bankDrain,
+		IntegrityEngine: engine,
 	}
 	tweak := exper.MachineTweaks{
 		DEUCE:            *deuce,

@@ -80,6 +80,13 @@ type Cache struct {
 	backend Backend  // optional ECC/fault mediation layer
 	bus     *obs.Bus // nil unless observability is enabled
 
+	// persistHook, when set, fires as each page's counter block is
+	// written back to the persistence domain (eviction, Flush,
+	// Invalidate). The integrity engine uses it to enforce persist
+	// ordering: the Merkle root must cover a counter block before that
+	// block becomes durable.
+	persistHook func(addr.PageNum)
+
 	fetches, writebacks, writeThroughs stats.Counter
 	prefetches                         stats.Counter
 }
@@ -110,6 +117,13 @@ func (c *Cache) SetBackend(b Backend) { c.backend = b }
 
 // SetBus attaches the observability event bus (nil disables).
 func (c *Cache) SetBus(b *obs.Bus) { c.bus = b }
+
+// SetPersistHook installs fn to be called as each page's counters are
+// written back to the persistence domain (nil disables). Write-through
+// mutations do not fire it: the controller orders the tree update after
+// MarkDirty, so at write-through time there is nothing pending to
+// persist yet — machine-level barriers cover that mode.
+func (c *Cache) SetPersistHook(fn func(addr.PageNum)) { c.persistHook = fn }
 
 // PageOf translates a counter-region physical address back to the page
 // whose counters it holds. The ECC layer uses it to identify which page a
@@ -207,6 +221,11 @@ func (c *Cache) writebackPage(p addr.PageNum) {
 	cb, ok := c.cached[p]
 	if !ok {
 		return
+	}
+	// Root-before-data: the integrity engine must cover this block in
+	// its root register before the block itself becomes durable.
+	if c.persistHook != nil {
+		c.persistHook(p)
 	}
 	c.region[p] = *cb
 	c.writebacks.Inc()

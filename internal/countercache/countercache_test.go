@@ -313,3 +313,66 @@ func TestPrefetchNextCutsSequentialMisses(t *testing.T) {
 		t.Fatalf("mutation through prefetch-enabled cache lost: %+v", got.Major)
 	}
 }
+
+// The persist hook must fire for every page a write-back persists, and
+// must fire BEFORE the persisted region absorbs the new value — the
+// integrity engine folds the page's pending update into the root while
+// the old value is still the persisted truth (root-before-data).
+func TestPersistHookFiresBeforePersist(t *testing.T) {
+	cc, _ := newCC(t, smallCfg())
+	type obsv struct {
+		page           addr.PageNum
+		persistedMajor uint64
+	}
+	var seen []obsv
+	cc.SetPersistHook(func(p addr.PageNum) {
+		seen = append(seen, obsv{p, cc.PersistedValue(p).Major})
+	})
+	cb, _, _ := cc.Get(0)
+	cb.Major = 42
+	cc.MarkDirty(0)
+	cc.Get(2)
+	cc.Get(4) // evicts dirty page 0
+	if len(seen) != 1 || seen[0].page != 0 {
+		t.Fatalf("hook calls = %+v, want one for page 0", seen)
+	}
+	if seen[0].persistedMajor != 0 {
+		t.Fatalf("hook saw persisted Major %d; must run before the region absorbs 42",
+			seen[0].persistedMajor)
+	}
+	if got := cc.PersistedValue(0); got.Major != 42 {
+		t.Fatalf("eviction did not persist: Major = %d", got.Major)
+	}
+	// A full flush fires the hook once per remaining dirty page.
+	cb2, _, _ := cc.Get(2)
+	cb2.Major = 7
+	cc.MarkDirty(2)
+	seen = seen[:0]
+	cc.Flush()
+	if len(seen) != 1 || seen[0].page != 2 {
+		t.Fatalf("flush hook calls = %+v, want one for page 2", seen)
+	}
+}
+
+// Write-through mutations must NOT fire the persist hook: the
+// controller orders the integrity update before MarkDirty on that path
+// (root-before-data), so there is never a pending update to fold in —
+// and firing the hook there would defeat the lazy engine's coalescing.
+func TestPersistHookNotFiredOnWriteThrough(t *testing.T) {
+	cfg := smallCfg()
+	cfg.BatteryBacked = false
+	cfg.WriteThrough = true
+	cc, _ := newCC(t, cfg)
+	fired := 0
+	cc.SetPersistHook(func(addr.PageNum) { fired++ })
+	cb, _, _ := cc.Get(0)
+	cb.Major = 42
+	cc.MarkDirty(0)
+	cc.Flush()
+	if fired != 0 {
+		t.Fatalf("hook fired %d times on the write-through path, want 0", fired)
+	}
+	if got := cc.PersistedValue(0); got.Major != 42 {
+		t.Fatalf("write-through did not persist: Major = %d", got.Major)
+	}
+}

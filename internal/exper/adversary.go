@@ -47,6 +47,7 @@ func AdversaryMatrix(o Options, seed int64, attacks []adversary.Attacker) ([]adv
 			Seed:        seed,
 			Personality: cells[i].pers,
 			Policy:      cells[i].pol,
+			Engine:      o.IntegrityEngine,
 		}, attacks)
 		return out{res, err}
 	})

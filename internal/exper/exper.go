@@ -11,6 +11,7 @@ import (
 	"silentshredder/internal/addr"
 	"silentshredder/internal/apprt"
 	"silentshredder/internal/fault"
+	"silentshredder/internal/integrity"
 	"silentshredder/internal/kernel"
 	"silentshredder/internal/memctrl"
 	"silentshredder/internal/obs"
@@ -55,6 +56,11 @@ type Options struct {
 	// BankDrainBatch sets the full-queue drain batch under the banked
 	// model (0 = nvm.DefaultBankDrainBatch).
 	BankDrainBatch int
+	// IntegrityEngine selects the integrity engine for machines that
+	// enable the Merkle tree (the `-integrity-engine` flag). The zero
+	// value (EngineEager) keeps the classic eager tree — and
+	// byte-identical default output.
+	IntegrityEngine integrity.EngineKind
 	// Profile, when non-nil, collects host wall-time phase timers and
 	// per-run duration histograms over every sweep run through this
 	// Options value (the `-obs-phase` flag). Host-time measurement only:
@@ -112,6 +118,9 @@ func (o Options) applyMachine(cfg *sim.Config) {
 	}
 	if o.BankDrainBatch > 0 {
 		cfg.NVM.BankDrainBatch = o.BankDrainBatch
+	}
+	if o.IntegrityEngine != integrity.EngineEager {
+		cfg.MemCtrl.IntegrityCfg.Engine = o.IntegrityEngine
 	}
 }
 

@@ -1,6 +1,7 @@
 package integrity
 
 import (
+	"fmt"
 	"testing"
 
 	"silentshredder/internal/addr"
@@ -23,5 +24,69 @@ func BenchmarkVerify(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.Verify(7, blk)
+	}
+}
+
+// benchEngines runs fn once per engine kind as a sub-benchmark, so every
+// engine benchmark below reports an eager/cached pair.
+func benchEngines(b *testing.B, fn func(b *testing.B, e Engine)) {
+	for _, kind := range []EngineKind{EngineEager, EngineCached} {
+		b.Run(kind.String(), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Engine = kind
+			fn(b, New(cfg))
+		})
+	}
+}
+
+// The streaming write path: bursts of updates across a hot page set with
+// a persist barrier per burst — the coalescing case the lazy engine is
+// built for.
+func BenchmarkEngineUpdateBurst(b *testing.B) {
+	benchEngines(b, func(b *testing.B, e Engine) {
+		var blk [ctr.CounterBlockSize]byte
+		for i := 0; i < b.N; i++ {
+			blk[0] = byte(i)
+			e.Update(addr.PageNum(i%64), blk)
+			if i%1024 == 1023 {
+				e.PersistBarrier()
+			}
+		}
+		e.PersistBarrier()
+	})
+}
+
+// The counter-fetch read path: repeated verification of a settled page.
+func BenchmarkEngineVerifyHit(b *testing.B) {
+	benchEngines(b, func(b *testing.B, e Engine) {
+		var blk [ctr.CounterBlockSize]byte
+		e.Update(7, blk)
+		e.PersistBarrier()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ok, _ := e.Verify(7, blk); !ok {
+				b.Fatal("settled page must verify")
+			}
+		}
+	})
+}
+
+// The persist-barrier path itself: dirty a spread of leaves, then drain
+// them in one coalesced batch (the cached engine's deferred work; the
+// eager engine's barrier is free by construction).
+func BenchmarkEngineCoalescedFlush(b *testing.B) {
+	for _, leaves := range []int{16, 256} {
+		b.Run(fmt.Sprintf("leaves%d", leaves), func(b *testing.B) {
+			benchEngines(b, func(b *testing.B, e Engine) {
+				var blk [ctr.CounterBlockSize]byte
+				for i := 0; i < b.N; i++ {
+					blk[0] = byte(i)
+					for l := 0; l < leaves; l++ {
+						e.Update(addr.PageNum(l*37), blk)
+					}
+					e.PersistBarrier()
+				}
+			})
+		})
 	}
 }

@@ -12,6 +12,12 @@
 // page i's 64-byte encoded counter block. Missing subtrees hash to
 // precomputed "empty" defaults, so memory use is proportional to the
 // touched page set.
+//
+// Two engines implement the Engine interface (engine.go): the eager Tree
+// below, which rehashes the full leaf-to-root path on every counter
+// update, and the lazy CachedTree (cached.go), which coalesces pending
+// leaf updates in an on-chip dirty-subtree cache and batch-propagates
+// them at persist barriers.
 package integrity
 
 import (
@@ -32,6 +38,16 @@ type Config struct {
 	Depth        int          // levels below the root; covers 2^Depth pages
 	CachedLevels int          // top levels resident on chip (verification stops there)
 	HashLatency  clock.Cycles // latency of one hash unit
+
+	// Engine selects the update strategy: EngineEager (the zero value)
+	// rehashes the full path on every counter update; EngineCached defers
+	// and coalesces updates in a dirty-subtree cache (cached.go).
+	Engine EngineKind
+	// DirtyCacheNodes bounds the cached engine's dirty-subtree cache: the
+	// maximum number of pending leaf entries held on chip before a forced
+	// coalescing propagation (0 = DefaultDirtyCacheNodes). Ignored by the
+	// eager engine.
+	DirtyCacheNodes int
 }
 
 // DefaultConfig covers 2^24 pages (64GB of 4KB pages) with the top 10
@@ -40,12 +56,98 @@ func DefaultConfig() Config {
 	return Config{Depth: 24, CachedLevels: 10, HashLatency: 40}
 }
 
-// Tree is a sparse Merkle tree over counter blocks.
-type Tree struct {
+// verifyPath is the Bonsai verification path length in hash units: the
+// leaf hash plus one pair-hash per level until the first on-chip-cached
+// node. Both engines and the modeled latency share this one clamp.
+func (c Config) verifyPath() int {
+	path := c.Depth - c.CachedLevels + 1
+	if path < 1 {
+		path = 1
+	}
+	return path
+}
+
+// verifyCost is the modeled latency of one Bonsai verification.
+func (c Config) verifyCost() clock.Cycles {
+	return clock.Cycles(c.verifyPath()) * c.HashLatency
+}
+
+// store is the durable node state shared by both engines: the sparse
+// per-level node maps, the empty-subtree defaults, and the root register.
+type store struct {
 	cfg      Config
 	defaults []Hash            // defaults[l] = hash of an empty subtree of height l
 	nodes    []map[uint64]Hash // nodes[l][i]: level l (0 = leaves), index i
 	root     Hash
+}
+
+// newStore validates cfg and builds an empty node store.
+func newStore(cfg Config) store {
+	if cfg.Depth <= 0 || cfg.Depth > 40 {
+		panic("integrity: depth out of range")
+	}
+	if cfg.CachedLevels < 0 || cfg.CachedLevels > cfg.Depth {
+		cfg.CachedLevels = cfg.Depth
+	}
+	s := store{cfg: cfg}
+	s.defaults = make([]Hash, cfg.Depth+1)
+	var zero [ctr.CounterBlockSize]byte
+	s.defaults[0] = sha256.Sum256(zero[:])
+	for l := 1; l <= cfg.Depth; l++ {
+		s.defaults[l] = hashPair(s.defaults[l-1], s.defaults[l-1])
+	}
+	s.nodes = make([]map[uint64]Hash, cfg.Depth+1)
+	for l := range s.nodes {
+		s.nodes[l] = make(map[uint64]Hash)
+	}
+	s.root = s.defaults[cfg.Depth]
+	return s
+}
+
+func hashPair(a, b Hash) Hash {
+	var buf [2 * sha256.Size]byte
+	copy(buf[:sha256.Size], a[:])
+	copy(buf[sha256.Size:], b[:])
+	return sha256.Sum256(buf[:])
+}
+
+func (s *store) node(level int, idx uint64) Hash {
+	if h, ok := s.nodes[level][idx]; ok {
+		return h
+	}
+	return s.defaults[level]
+}
+
+// walkUp hashes from the level-0 leaf hash h at index idx up `levels`
+// levels, combining with the stored sibling at each step. With write set,
+// the recomputed parents are stored (an update); without, the walk is a
+// pure recomputation (a verification). Returns the hash reached at the
+// final level. This is the one leaf-to-root walk every engine entry point
+// shares.
+func (s *store) walkUp(idx uint64, h Hash, levels int, write bool) Hash {
+	for l := 0; l < levels; l++ {
+		sib := s.node(l, idx^1)
+		if idx&1 == 0 {
+			h = hashPair(h, sib)
+		} else {
+			h = hashPair(sib, h)
+		}
+		idx >>= 1
+		if write {
+			s.nodes[l+1][idx] = h
+		}
+	}
+	return h
+}
+
+// Root returns the current root hash (held in a tamper-proof on-chip
+// register in the real design).
+func (s *store) Root() Hash { return s.root }
+
+// Tree is the eager engine: a sparse Merkle tree over counter blocks
+// whose full leaf-to-root path is rehashed on every update.
+type Tree struct {
+	store
 
 	updates, verifies stats.Counter
 	hashOps           stats.Counter
@@ -56,46 +158,10 @@ type Tree struct {
 // SetBus attaches the observability event bus (nil disables).
 func (t *Tree) SetBus(b *obs.Bus) { t.bus = b }
 
-// NewTree creates an empty tree.
+// NewTree creates an empty eager tree.
 func NewTree(cfg Config) *Tree {
-	if cfg.Depth <= 0 || cfg.Depth > 40 {
-		panic("integrity: depth out of range")
-	}
-	if cfg.CachedLevels < 0 || cfg.CachedLevels > cfg.Depth {
-		cfg.CachedLevels = cfg.Depth
-	}
-	t := &Tree{cfg: cfg}
-	t.defaults = make([]Hash, cfg.Depth+1)
-	var zero [ctr.CounterBlockSize]byte
-	t.defaults[0] = sha256.Sum256(zero[:])
-	for l := 1; l <= cfg.Depth; l++ {
-		t.defaults[l] = hashPair(t.defaults[l-1], t.defaults[l-1])
-	}
-	t.nodes = make([]map[uint64]Hash, cfg.Depth+1)
-	for l := range t.nodes {
-		t.nodes[l] = make(map[uint64]Hash)
-	}
-	t.root = t.defaults[cfg.Depth]
-	return t
+	return &Tree{store: newStore(cfg)}
 }
-
-func hashPair(a, b Hash) Hash {
-	var buf [2 * sha256.Size]byte
-	copy(buf[:sha256.Size], a[:])
-	copy(buf[sha256.Size:], b[:])
-	return sha256.Sum256(buf[:])
-}
-
-func (t *Tree) node(level int, idx uint64) Hash {
-	if h, ok := t.nodes[level][idx]; ok {
-		return h
-	}
-	return t.defaults[level]
-}
-
-// Root returns the current root hash (held in a tamper-proof on-chip
-// register in the real design).
-func (t *Tree) Root() Hash { return t.root }
 
 // Update recomputes the path for page p after its counter block changed,
 // returning the modeled latency. Updates hash the full path to the root
@@ -107,84 +173,58 @@ func (t *Tree) Update(p addr.PageNum, block [ctr.CounterBlockSize]byte) clock.Cy
 	idx := uint64(p)
 	h := sha256.Sum256(block[:])
 	t.nodes[0][idx] = h
-	t.hashOps.Inc()
-	for l := 0; l < t.cfg.Depth; l++ {
-		sib := t.node(l, idx^1)
-		var parent Hash
-		if idx&1 == 0 {
-			parent = hashPair(Hash(h), sib)
-		} else {
-			parent = hashPair(sib, Hash(h))
-		}
-		idx >>= 1
-		t.nodes[l+1][idx] = parent
-		h = parent
-		t.hashOps.Inc()
-	}
-	t.root = Hash(h)
+	t.root = t.walkUp(idx, h, t.cfg.Depth, true)
+	t.hashOps.Add(uint64(t.cfg.Depth + 1))
 	return clock.Cycles(t.cfg.Depth+1) * t.cfg.HashLatency
 }
 
 // Verify checks that block is the authentic counter block for page p,
 // returning whether it verifies and the modeled latency. Verification
-// hashes from the leaf up to the first on-chip-cached level (the Bonsai
-// optimization), so its cost is (Depth - CachedLevels + 1) hashes.
+// hashes from the leaf up to the first on-chip-cached level and compares
+// against the cached copy there (the Bonsai optimization), so its cost —
+// modeled latency, emitted path length and hash_ops alike — is
+// (Depth - CachedLevels + 1) hashes.
 func (t *Tree) Verify(p addr.PageNum, block [ctr.CounterBlockSize]byte) (bool, clock.Cycles) {
 	t.verifies.Inc()
-	path := t.cfg.Depth - t.cfg.CachedLevels + 1
-	if path < 1 {
-		path = 1
-	}
+	path := t.cfg.verifyPath()
 	t.bus.Emit(obs.EvMerkleVerify, uint64(p.Addr()), uint64(path))
 	idx := uint64(p)
 	h := sha256.Sum256(block[:])
-	t.hashOps.Inc()
-	for l := 0; l < t.cfg.Depth; l++ {
-		sib := t.node(l, idx^1)
-		if idx&1 == 0 {
-			h = hashPair(Hash(h), sib)
-		} else {
-			h = hashPair(sib, Hash(h))
-		}
-		idx >>= 1
-		t.hashOps.Inc()
-	}
-	return Hash(h) == t.root, t.verifyCost()
+	levels := path - 1
+	h = t.walkUp(idx, h, levels, false)
+	t.hashOps.Add(uint64(path))
+	return h == t.node(levels, idx>>uint(levels)), t.cfg.verifyCost()
 }
 
 // ConsistentWith reports whether block hashes to the current root as page
-// p's counter block — the same computation as Verify, but without
-// touching statistics or modeling latency. Invariant sweeps use it so
-// that enabling the sweep cannot perturb the measured verification
-// counts.
+// p's counter block — the full-path computation against the root
+// register, without touching statistics or modeling latency. Invariant
+// sweeps and the reboot-time audit use it so that enabling them cannot
+// perturb the measured verification counts.
 func (t *Tree) ConsistentWith(p addr.PageNum, block [ctr.CounterBlockSize]byte) bool {
-	idx := uint64(p)
 	h := sha256.Sum256(block[:])
-	for l := 0; l < t.cfg.Depth; l++ {
-		sib := t.node(l, idx^1)
-		if idx&1 == 0 {
-			h = hashPair(Hash(h), sib)
-		} else {
-			h = hashPair(sib, Hash(h))
-		}
-		idx >>= 1
-	}
-	return Hash(h) == t.root
+	return t.walkUp(uint64(p), h, t.cfg.Depth, false) == t.root
 }
 
-func (t *Tree) verifyCost() clock.Cycles {
-	path := t.cfg.Depth - t.cfg.CachedLevels + 1
-	if path < 1 {
-		path = 1
-	}
-	return clock.Cycles(path) * t.cfg.HashLatency
-}
+// Persisted is the eager engine's persist-ordering hook: a no-op, since
+// every update already reached the root synchronously.
+func (t *Tree) Persisted(addr.PageNum) {}
+
+// PersistBarrier is a no-op for the eager engine (nothing is pending).
+func (t *Tree) PersistBarrier() {}
 
 // VerifyCost returns the modeled latency of one verification.
-func (t *Tree) VerifyCost() clock.Cycles { return t.verifyCost() }
+func (t *Tree) VerifyCost() clock.Cycles { return t.cfg.verifyCost() }
 
 // HashOps returns the number of hash-unit operations performed.
 func (t *Tree) HashOps() uint64 { return t.hashOps.Value() }
+
+// ResetStats clears the engine's statistics.
+func (t *Tree) ResetStats() {
+	t.updates.Reset()
+	t.verifies.Reset()
+	t.hashOps.Reset()
+}
 
 // StatsSet exposes integrity-engine statistics.
 func (t *Tree) StatsSet() *stats.Set {

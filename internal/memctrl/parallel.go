@@ -125,8 +125,8 @@ func (mc *Controller) zeroPageParallel(p addr.PageNum) clock.Cycles {
 		if cb.BumpMinor(i) {
 			panic("memctrl: minor overflow after zero-page pre-check")
 		}
+		mc.counterChanged(p, cb) // root-before-data (see writeBlockCauseCB)
 		mc.cc.MarkDirty(p)
-		mc.counterChanged(p, cb)
 		plain[i] = mc.img.ReadBlock(p.BlockAddr(i))
 	}
 

@@ -103,6 +103,11 @@ const (
 	// EvAttackLeak: an attack recovered forbidden (pre-shred) bytes.
 	// Addr = the attacker kind, Arg = total bytes leaked by the attempt.
 	EvAttackLeak
+	// EvMerkleFlush: the cached integrity engine propagated coalesced
+	// dirty subtrees at a persist barrier. One event per tree level
+	// rehashed: Addr = the level (1 = just above the leaves), Arg =
+	// distinct nodes rehashed at that level.
+	EvMerkleFlush
 
 	kindMax
 )
@@ -135,6 +140,7 @@ var kindNames = [kindMax]string{
 	EvAttackAttempt:    "attack_attempt",
 	EvAttackDetected:   "attack_detected",
 	EvAttackLeak:       "attack_leak",
+	EvMerkleFlush:      "merkle_flush",
 }
 
 // String returns the event kind's stable name (used in exported

@@ -11,6 +11,7 @@ package sim_test
 import (
 	"testing"
 
+	"silentshredder/internal/integrity"
 	"silentshredder/internal/kernel"
 	"silentshredder/internal/memctrl"
 	"silentshredder/internal/oracle"
@@ -22,6 +23,7 @@ type crashPersonality struct {
 	mode         memctrl.Mode
 	zm           kernel.ZeroMode
 	integrity    bool
+	engine       integrity.EngineKind
 	writeThrough bool
 }
 
@@ -31,6 +33,13 @@ func crashPersonalities() []crashPersonality {
 		{name: "baseline-temporal", mode: memctrl.Baseline, zm: kernel.ZeroTemporal},
 		{name: "silent-shredder", mode: memctrl.SilentShredder, zm: kernel.ZeroShred},
 		{name: "silent-shredder-wt", mode: memctrl.SilentShredder, zm: kernel.ZeroShred, writeThrough: true},
+		// The two integrity engines over the crash-safe write-through
+		// configuration: every cut point must recover a persistent state
+		// whose counters authenticate against the (persist-ordered) root.
+		{name: "ss-merkle-eager-wt", mode: memctrl.SilentShredder, zm: kernel.ZeroShred,
+			integrity: true, engine: integrity.EngineEager, writeThrough: true},
+		{name: "ss-merkle-cached-wt", mode: memctrl.SilentShredder, zm: kernel.ZeroShred,
+			integrity: true, engine: integrity.EngineCached, writeThrough: true},
 	}
 }
 
@@ -40,6 +49,7 @@ func crashConfig(p crashPersonality) sim.Config {
 	cfg.MemPages = 8192
 	cfg.StoreData = true
 	cfg.MemCtrl.Integrity = p.integrity
+	cfg.MemCtrl.IntegrityCfg.Engine = p.engine
 	cfg.MemCtrl.CounterCache.WriteThrough = p.writeThrough
 	return cfg
 }

@@ -348,6 +348,9 @@ func (m *Machine) Registry() *stats.Registry {
 	r.Register(m.Hier.StatsSet())
 	r.Register(m.MC.StatsSet())
 	r.Register(m.MC.CounterCache().StatsSet())
+	if m.MC.IntegrityEnabled() {
+		r.Register(m.MC.IntegrityEngine().StatsSet())
+	}
 	r.Register(m.Dev.StatsSet("nvm"))
 	r.Register(m.Kernel.StatsSet())
 	if m.Injector != nil {
