@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race faults obs banks adversary merkle fuzz cover bench bench-json bench-compare bench-smoke quick-experiments experiments examples clean
+.PHONY: all build test vet race faults obs banks adversary merkle telemetry fuzz cover bench bench-json bench-compare bench-smoke quick-experiments experiments examples clean
 
 all: build vet test race
 
@@ -27,7 +27,7 @@ test:
 # oracle-checked short workload sweeps (exper.TestCheckedWorkloadSweeps
 # and the sim/oracle differential tests), so every merge re-validates the
 # architectural contract under -race.
-race: vet faults obs adversary merkle bench-smoke
+race: vet faults obs adversary merkle telemetry bench-smoke
 	$(GO) test -race ./...
 
 # Robustness gate, folded into tier-1 `race`: the fault-injection and
@@ -100,6 +100,28 @@ merkle:
 		| diff -u testdata/golden/experiments_merkle.txt -
 	$(GO) run ./cmd/experiments -quick -cores 2 -scale 64 -parallel 1 -integrity-engine cached adversary 2>/dev/null \
 		| diff -u testdata/golden/experiments_adversary.txt -
+
+# Latency-provenance gate, folded into tier-1 `race`: the span and
+# telemetry package tests (spans-disabled AllocsPerRun proof, the
+# Prometheus /metrics golden, breakdown export round trips), the
+# `experiments latency` figure byte-identical to its golden at every
+# sweep and controller width, and the spans-enabled shredsim run whose
+# default stdout must still match the spans-off golden exactly — span
+# recording observes the machine, it must never perturb it. Regenerate
+# the latency golden after an intentional change with the first
+# experiments command redirected into testdata/golden/.
+telemetry:
+	$(GO) test ./internal/span ./internal/telemetry
+	$(GO) run ./cmd/experiments -quick -cores 2 -scale 64 -parallel 1 latency 2>/dev/null \
+		| diff -u testdata/golden/experiments_latency.txt -
+	$(GO) run ./cmd/experiments -quick -cores 2 -scale 64 -parallel 4 latency 2>/dev/null \
+		| diff -u testdata/golden/experiments_latency.txt -
+	$(GO) run ./cmd/experiments -quick -cores 2 -scale 64 -parallel 2 -mc-workers 8 latency 2>/dev/null \
+		| diff -u testdata/golden/experiments_latency.txt -
+	@tmp=$$(mktemp); \
+		$(GO) run ./cmd/shredsim -quick -scale 64 -cores 2 -parallel 2 -workload pagerank,mcf -obs-spans $$tmp \
+			| diff -u testdata/golden/shredsim_quick.txt - || { rm -f $$tmp; exit 1; }; \
+		rm -f $$tmp
 
 # Bounded fuzzing pass over the fuzz targets (seed corpora are committed
 # under testdata/fuzz). FUZZTIME bounds each target's run.

@@ -8,7 +8,8 @@
 //
 // Experiments: table1 table2 fig4 fig5 fig8 fig9 fig10 fig11 fig12
 // ablation-iv ablation-dcw ablation-deuce ablation-wt ablation-merkle
-// banks faults crash adversary merkle energy export summary timeseries all
+// banks faults crash adversary merkle latency energy export summary
+// timeseries all
 package main
 
 import (
@@ -160,9 +161,20 @@ func main() {
 			}
 			fmt.Println(exper.AdversaryTable(rows))
 		case "merkle":
-			rows := exper.MerkleSweep(o, 42)
+			rows, err := exper.MerkleSweep(o, 42, obsFlags.Ring)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
 			fmt.Println(exper.MerkleTable(rows))
 			fmt.Println(exper.MerkleLevelTable(rows))
+		case "latency":
+			rows, err := exper.LatencySweep(o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(exper.LatencyTable(rows))
 		case "energy":
 			fmt.Println(exper.EnergyTable(comparison()))
 		case "summary":
@@ -206,10 +218,18 @@ func main() {
 			fmt.Println(exper.AblationWQTable(exper.AblationWQ(o)))
 			fmt.Println(exper.AblationMerkleTable(exper.AblationMerkle(o)))
 			fmt.Println(exper.BanksTable(exper.Banks(o)))
-			{
-				rows := exper.MerkleSweep(o, 42)
+			if rows, err := exper.MerkleSweep(o, 42, obsFlags.Ring); err == nil {
 				fmt.Println(exper.MerkleTable(rows))
 				fmt.Println(exper.MerkleLevelTable(rows))
+			} else {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if rows, err := exper.LatencySweep(o); err == nil {
+				fmt.Println(exper.LatencyTable(rows))
+			} else {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
 			}
 			if rows, err := exper.AdversaryMatrix(o, 42, adversary.AllAttackers()); err == nil {
 				fmt.Println(exper.AdversaryTable(rows))
@@ -336,6 +356,9 @@ experiments:
                    attackers vs every (personality, shred-policy) cell
   merkle           integrity-engine comparison: eager vs cached/coalesced
                    hash traffic per tree level over one checked workload
+  latency          latency provenance: per-op mean cycles split by layer
+                   (mmu/cache/counter/pad/integrity/bank/device) for the
+                   baseline's NT-zero clear vs Silent Shredder's shred
   energy           NVM energy savings (the paper's power-reduction claim)
   export           comparison data as text/csv/json (see -format)
   summary          averages vs the paper's headline numbers

@@ -19,6 +19,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -31,6 +33,7 @@ import (
 	"silentshredder/internal/obs"
 	"silentshredder/internal/obscli"
 	"silentshredder/internal/stats"
+	"silentshredder/internal/telemetry"
 	"silentshredder/internal/workloads/spec"
 )
 
@@ -59,6 +62,7 @@ func main() {
 		bankQueue = flag.Int("bank-queue", 0, "per-bank posted-write queue depth; > 0 enables the banked drain-scheduler device model")
 		bankDrain = flag.Int("bank-drain", 0, "writes drained back-to-back when a bank queue fills (0 = default batch)")
 		obsPhase  = flag.Bool("obs-phase", false, "print host wall-time phase/run timings to stderr after the sweep")
+		serve     = flag.String("serve", "", "after the run(s), serve live telemetry (/metrics in Prometheus text format, /healthz) on this address, e.g. :9090, until interrupted")
 	)
 	var obsFlags obscli.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -171,6 +175,7 @@ func main() {
 		// for post-run operations like -save-nvm.
 		bus := obsFlags.NewBus()
 		tweak.Bus = bus
+		tweak.Spans = obsFlags.NewSpans()
 		m, err := exper.RunWorkloadTweaked(o, names[0], mcMode, zm, tweak)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
@@ -181,9 +186,9 @@ func main() {
 		if cr := m.CheckReport(); cr != "" {
 			fmt.Printf("\n%s\n", cr)
 		}
+		cap := obsFlags.Capture(names[0], bus, m)
 		if obsFlags.Enabled() {
-			caps := []obscli.Capture{obsFlags.Capture(names[0], bus, m)}
-			if err := obsFlags.Write(caps); err != nil {
+			if err := obsFlags.Write([]obscli.Capture{cap}); err != nil {
 				fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
 				os.Exit(1)
 			}
@@ -202,6 +207,16 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "memory-state checkpoint written to %s\n", *saveNVM)
 		}
+		if *serve != "" {
+			sample := telemetry.Sample{
+				Run: names[0], Cycles: m.MaxCycles(), Instructions: m.TotalInstructions(),
+				IPC: m.AggregateIPC(), Snap: m.Snapshot(), Spans: cap.SpanAgg,
+			}
+			if err := serveTelemetry(*serve, []telemetry.Sample{sample}); err != nil {
+				fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 
@@ -214,15 +229,18 @@ func main() {
 	// values (the report string, built from a stats snapshot) escape a
 	// worker, so the sweep is race-free and its output deterministic.
 	type runOut struct {
-		text string
-		cap  obscli.Capture
-		err  error
+		text   string
+		cap    obscli.Capture
+		sample telemetry.Sample
+		err    error
 	}
 	outs := exper.RunIndexed(*parallel, len(names), exper.ProfiledJob(profile, func(i int) runOut {
-		// Per-run bus and sampler, confined to this worker: captures
-		// cross back by value, so traces merge deterministically.
+		// Per-run bus, sampler, and span recorder, confined to this
+		// worker: captures cross back by value, so traces merge
+		// deterministically.
 		tw := tweak
 		tw.Bus = obsFlags.NewBus()
+		tw.Spans = obsFlags.NewSpans()
 		m, err := exper.RunWorkloadTweaked(o, names[i], mcMode, zm, tw)
 		if err != nil {
 			return runOut{err: err}
@@ -232,7 +250,11 @@ func main() {
 		if cr := m.CheckReport(); cr != "" {
 			text += "\n" + cr + "\n"
 		}
-		return runOut{text: text, cap: obsFlags.Capture(names[i], tw.Bus, m)}
+		cap := obsFlags.Capture(names[i], tw.Bus, m)
+		return runOut{text: text, cap: cap, sample: telemetry.Sample{
+			Run: names[i], Cycles: m.MaxCycles(), Instructions: m.TotalInstructions(),
+			IPC: m.AggregateIPC(), Snap: m.Snapshot(), Spans: cap.SpanAgg,
+		}}
 	}))
 	failed := false
 	for i, r := range outs {
@@ -260,6 +282,29 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+	if *serve != "" {
+		samples := make([]telemetry.Sample, len(outs))
+		for i, r := range outs {
+			samples[i] = r.sample
+		}
+		if err := serveTelemetry(*serve, samples); err != nil {
+			fmt.Fprintf(os.Stderr, "shredsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// serveTelemetry publishes the finished runs' samples and serves the
+// telemetry endpoints until the process is interrupted.
+func serveTelemetry(addr string, samples []telemetry.Sample) error {
+	var p telemetry.Publisher
+	p.Publish(samples)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "shredsim: serving /metrics and /healthz on http://%s (interrupt to stop)\n", ln.Addr())
+	return http.Serve(ln, telemetry.Handler(&p))
 }
 
 // report renders one run. It takes only plain values (no live machine):

@@ -18,6 +18,7 @@ import (
 	"silentshredder/internal/clock"
 	"silentshredder/internal/cpu"
 	"silentshredder/internal/kernel"
+	"silentshredder/internal/span"
 )
 
 // Runtime binds a process to a core.
@@ -47,6 +48,13 @@ type Runtime struct {
 	// count) and take epoch samples. Like check, it is separate from
 	// trace so cooperative scheduling cannot displace it.
 	obsHook func()
+
+	// spans, when set, opens a latency-provenance span around every
+	// memory operation: translation cycles attribute to the mmu layer,
+	// the hierarchy's residual to the cache layer, and deeper layers
+	// credit themselves as the access descends. A nil recorder costs
+	// nothing (every call is a nil-receiver no-op).
+	spans *span.Recorder
 
 	// Per-runtime scratch buffers keep the per-block byte-shuffling paths
 	// allocation-free (a Runtime is single-threaded by construction).
@@ -137,6 +145,9 @@ func (rt *Runtime) SetChecker(c Checker) { rt.check = c }
 // disables).
 func (rt *Runtime) SetObsHook(fn func()) { rt.obsHook = fn }
 
+// SetSpans attaches the latency-provenance recorder (nil disables).
+func (rt *Runtime) SetSpans(r *span.Recorder) { rt.spans = r }
+
 func (rt *Runtime) emit(kind TraceKind, va addr.Virt, arg uint64) {
 	if rt.obsHook != nil {
 		rt.obsHook()
@@ -192,8 +203,15 @@ func (rt *Runtime) Free(va addr.Virt, size int) {
 // Load performs an 8-byte load and returns the value.
 func (rt *Runtime) Load(va addr.Virt) uint64 {
 	rt.emit(TraceLoad, va, 0)
+	rt.spans.Begin(span.OpRead, uint64(va))
+	mk := rt.spans.Mark()
 	pa, klat := rt.k.Translate(rt.core, rt.proc, va, false)
-	lat := klat + rt.k.Hierarchy().Read(rt.core, pa)
+	rt.spans.Attribute(span.LayerMMU, uint64(klat), mk)
+	mk = rt.spans.Mark()
+	hlat := rt.k.Hierarchy().Read(rt.core, pa)
+	rt.spans.Attribute(span.LayerCache, uint64(hlat), mk)
+	lat := klat + hlat
+	rt.spans.End(uint64(lat))
 	rt.cpu.Load(lat)
 	b := rt.wordBuf[:]
 	rt.k.Controller().Image().Read(pa, b)
@@ -206,8 +224,16 @@ func (rt *Runtime) Load(va addr.Virt) uint64 {
 // Store performs an 8-byte store.
 func (rt *Runtime) Store(va addr.Virt, val uint64) {
 	rt.emit(TraceStore, va, val)
+	rt.spans.Begin(span.OpWrite, uint64(va))
+	mk := rt.spans.Mark()
 	pa, klat := rt.k.Translate(rt.core, rt.proc, va, true)
-	rt.k.Hierarchy().Write(rt.core, pa)
+	rt.spans.Attribute(span.LayerMMU, uint64(klat), mk)
+	mk = rt.spans.Mark()
+	hlat := rt.k.Hierarchy().Write(rt.core, pa)
+	rt.spans.Attribute(span.LayerCache, uint64(hlat), mk)
+	// The span totals the core-visible cost; the hierarchy's busy
+	// cycles live in the segments (the write buffer hides them).
+	rt.spans.End(uint64(klat) + uint64(rt.storeOccupancy))
 	b := rt.wordBuf[:]
 	binary.LittleEndian.PutUint64(b, val)
 	rt.k.Controller().Image().Write(pa, b)
@@ -224,8 +250,15 @@ func (rt *Runtime) LoadBytes(va addr.Virt, n int) []byte {
 		if rt.obsHook != nil {
 			rt.obsHook()
 		}
+		rt.spans.Begin(span.OpRead, uint64(blk)+uint64(off))
+		mk := rt.spans.Mark()
 		pa, klat := rt.k.Translate(rt.core, rt.proc, blk+addr.Virt(off), false)
-		lat := klat + rt.k.Hierarchy().Read(rt.core, pa)
+		rt.spans.Attribute(span.LayerMMU, uint64(klat), mk)
+		mk = rt.spans.Mark()
+		hlat := rt.k.Hierarchy().Read(rt.core, pa)
+		rt.spans.Attribute(span.LayerCache, uint64(hlat), mk)
+		lat := klat + hlat
+		rt.spans.End(uint64(lat))
 		rt.cpu.Load(lat)
 		buf := rt.blockBuf[:cnt]
 		rt.k.Controller().Image().Read(pa, buf)
@@ -243,8 +276,14 @@ func (rt *Runtime) StoreBytes(va addr.Virt, data []byte) {
 		if rt.obsHook != nil {
 			rt.obsHook()
 		}
+		rt.spans.Begin(span.OpWrite, uint64(blk)+uint64(off))
+		mk := rt.spans.Mark()
 		pa, klat := rt.k.Translate(rt.core, rt.proc, blk+addr.Virt(off), true)
-		rt.k.Hierarchy().Write(rt.core, pa)
+		rt.spans.Attribute(span.LayerMMU, uint64(klat), mk)
+		mk = rt.spans.Mark()
+		hlat := rt.k.Hierarchy().Write(rt.core, pa)
+		rt.spans.Attribute(span.LayerCache, uint64(hlat), mk)
+		rt.spans.End(uint64(klat) + uint64(rt.storeOccupancy))
 		rt.k.Controller().Image().Write(pa, data[:cnt])
 		if rt.check != nil {
 			rt.check.ObserveStoreBytes(blk+addr.Virt(off), data[:cnt])
@@ -283,19 +322,29 @@ func (rt *Runtime) memset(va addr.Virt, b byte, n int, nonTemporal bool) {
 		pattern[i] = b
 	}
 	addr.BlockRange(va, n, func(blk addr.Virt, off, cnt int) {
+		rt.spans.Begin(span.OpWrite, uint64(blk)+uint64(off))
+		mk := rt.spans.Mark()
 		pa, klat := rt.k.Translate(rt.core, rt.proc, blk+addr.Virt(off), true)
+		rt.spans.Attribute(span.LayerMMU, uint64(klat), mk)
 		if klat > 0 {
 			rt.cpu.Stall(klat)
 		}
+		var occ clock.Cycles
 		if nonTemporal && off == 0 && cnt == addr.BlockSize {
 			img.Write(pa, pattern)
-			occ := rt.k.Hierarchy().WriteNonTemporal(pa)
+			mk = rt.spans.Mark()
+			occ = rt.k.Hierarchy().WriteNonTemporal(pa)
+			rt.spans.Attribute(span.LayerCache, uint64(occ), mk)
 			rt.cpu.Store(occ)
 		} else {
-			rt.k.Hierarchy().Write(rt.core, pa)
+			mk = rt.spans.Mark()
+			hlat := rt.k.Hierarchy().Write(rt.core, pa)
+			rt.spans.Attribute(span.LayerCache, uint64(hlat), mk)
 			img.Write(pa, pattern[:cnt])
-			rt.cpu.Store(rt.storeOccupancy)
+			occ = rt.storeOccupancy
+			rt.cpu.Store(occ)
 		}
+		rt.spans.End(uint64(klat) + uint64(occ))
 		// The remaining stores of the block are part of the unrolled
 		// loop: they retire without additional memory traffic.
 		extra := uint64((cnt + 7) / 8)

@@ -16,6 +16,7 @@ import (
 	"silentshredder/internal/memctrl"
 	"silentshredder/internal/obs"
 	"silentshredder/internal/sim"
+	"silentshredder/internal/span"
 	"silentshredder/internal/workloads/graph"
 	"silentshredder/internal/workloads/kvstore"
 	"silentshredder/internal/workloads/spec"
@@ -323,6 +324,11 @@ type MachineTweaks struct {
 	// registry every EpochEvery cycles (sim.Config.EpochEvery). The
 	// end-of-run sample is taken before RunWorkloadTweaked returns.
 	EpochEvery uint64
+
+	// Spans, when non-nil, receives the machine's latency-provenance
+	// spans (sim.Config.Spans). Caller-owned like Bus: one recorder per
+	// worker under a parallel sweep.
+	Spans *span.Recorder
 }
 
 // RunWorkloadTweaked is RunWorkload with controller-feature overrides.
@@ -352,6 +358,7 @@ func RunWorkloadTweaked(o Options, name string, mode memctrl.Mode, zm kernel.Zer
 		cfg.StoreData = true
 	}
 	cfg.Bus = t.Bus
+	cfg.Spans = t.Spans
 	cfg.EpochEvery = t.EpochEvery
 	o.applyMachine(&cfg)
 	m := sim.MustNew(cfg)

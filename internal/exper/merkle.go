@@ -68,13 +68,19 @@ func merkleWorkload(o Options, seed int64) oracle.Workload {
 	})
 }
 
+// merkleRingMin is the smallest per-run event ring the sweep will use:
+// big enough for the default workload with headroom. -obs-ring can only
+// grow it (shrinking would guarantee the wrap error below).
+const merkleRingMin = 1 << 21
+
 // merkleRun replays the workload with the given engine and reconstructs
-// the per-level traffic from the machine's event bus.
-func merkleRun(o Options, w oracle.Workload, engine integrity.EngineKind) MerkleRow {
+// the per-level traffic from the machine's event bus. A wrapped ring is
+// an error, not a truncated figure.
+func merkleRun(o Options, w oracle.Workload, engine integrity.EngineKind, ringCap int) (MerkleRow, error) {
 	// A private bus per run: the per-level figure is rebuilt from the
-	// event stream, so it must never wrap. The capacity is asserted
-	// below rather than trusted.
-	bus := obs.NewBus(obs.Config{RingCap: 1 << 21})
+	// event stream, so it must never wrap. The capacity is checked
+	// after the run rather than trusted.
+	bus := obs.NewBus(obs.Config{RingCap: ringCap})
 	cfg := sim.ScaledConfig(memctrl.SilentShredder, kernel.ZeroShred, o.Scale)
 	cfg.Hier.Cores = 2
 	cfg.MemPages = 8192
@@ -106,8 +112,10 @@ func merkleRun(o Options, w oracle.Workload, engine integrity.EngineKind) Merkle
 	m.Hier.FlushAll()
 	m.MC.Flush()
 
-	if bus.Dropped() > 0 {
-		panic(fmt.Sprintf("exper: merkle sweep event ring wrapped (%d dropped); per-level figure would lie", bus.Dropped()))
+	if n := bus.Dropped(); n > 0 {
+		return MerkleRow{}, fmt.Errorf(
+			"exper: merkle sweep (%s) event ring wrapped: %d of the events the per-level figure is built from were dropped; re-run with -obs-ring %d (or larger)",
+			engine, n, 2*ringCap)
 	}
 	row := MerkleRow{
 		Engine:   engine.String(),
@@ -139,7 +147,7 @@ func merkleRun(o Options, w oracle.Workload, engine integrity.EngineKind) Merkle
 	row.HashOps = eng.HashOps()
 	root := eng.Root()
 	row.Root = hex.EncodeToString(root[:8])
-	return row
+	return row, nil
 }
 
 // MerkleEngines is the sweep's engine axis, eager first.
@@ -147,12 +155,31 @@ var MerkleEngines = []integrity.EngineKind{integrity.EngineEager, integrity.Engi
 
 // MerkleSweep runs the shared workload under each engine. The two runs
 // are independent machines and fan out across the sweep worker pool.
-func MerkleSweep(o Options, seed int64) []MerkleRow {
+// ringCap sizes each run's private event ring (≤ 0 keeps the default);
+// a run whose ring wrapped is reported as an error rather than a
+// silently truncated figure.
+func MerkleSweep(o Options, seed int64, ringCap int) ([]MerkleRow, error) {
 	o = o.normalized()
+	if ringCap < merkleRingMin {
+		ringCap = merkleRingMin
+	}
 	w := merkleWorkload(o, seed)
-	return runSweep(o, len(MerkleEngines), func(i int) MerkleRow {
-		return merkleRun(o, w, MerkleEngines[i])
+	type out struct {
+		row MerkleRow
+		err error
+	}
+	outs := runSweep(o, len(MerkleEngines), func(i int) out {
+		row, err := merkleRun(o, w, MerkleEngines[i], ringCap)
+		return out{row, err}
 	})
+	rows := make([]MerkleRow, len(outs))
+	for i, r := range outs {
+		if r.err != nil {
+			return nil, r.err
+		}
+		rows[i] = r.row
+	}
+	return rows, nil
 }
 
 // MerkleTable renders the engine summary.

@@ -16,7 +16,10 @@ import (
 // determinism contract).
 func TestMerkleSweep(t *testing.T) {
 	o := Options{Quick: true, Scale: 64, Parallel: 1}
-	rows := MerkleSweep(o, 42)
+	rows, err := MerkleSweep(o, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2 || rows[0].Engine != "eager" || rows[1].Engine != "cached" {
 		t.Fatalf("want [eager cached] rows, got %+v", rows)
 	}
@@ -47,7 +50,9 @@ func TestMerkleSweep(t *testing.T) {
 
 	par := o
 	par.Parallel = 4
-	if got := MerkleSweep(par, 42); !reflect.DeepEqual(rows, got) {
+	if got, err := MerkleSweep(par, 42, 0); err != nil {
+		t.Fatal(err)
+	} else if !reflect.DeepEqual(rows, got) {
 		t.Fatalf("sweep diverged across worker counts:\n%+v\n%+v", rows, got)
 	}
 
@@ -60,6 +65,28 @@ func TestMerkleSweep(t *testing.T) {
 	if lvl := MerkleLevelTable(rows).String(); !strings.Contains(lvl, "eager_hashes") ||
 		!strings.Contains(lvl, "cached_hashes") {
 		t.Errorf("level table missing engine columns:\n%s", lvl)
+	}
+}
+
+// TestMerkleRunRingWrap: an event ring too small for the figure must
+// come back as an actionable error (PR 10 turned the old panic into
+// this), naming -obs-ring and a capacity that would have sufficed.
+func TestMerkleRunRingWrap(t *testing.T) {
+	o := Options{Quick: true, Scale: 64, Parallel: 1}.normalized()
+	w := merkleWorkload(o, 42)
+	_, err := merkleRun(o, w, integrity.EngineEager, 64)
+	if err == nil {
+		t.Fatal("merkleRun with a 64-event ring reported no wrap")
+	}
+	for _, want := range []string{"-obs-ring", "dropped", "128"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("wrap error missing %q: %v", want, err)
+		}
+	}
+	// The sweep entry point clamps tiny capacities up to the working
+	// minimum instead of failing.
+	if _, err := MerkleSweep(o, 42, 64); err != nil {
+		t.Errorf("MerkleSweep did not clamp a tiny ring: %v", err)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"silentshredder/internal/memctrl"
 	"silentshredder/internal/mmu"
 	"silentshredder/internal/obs"
+	"silentshredder/internal/span"
 	"silentshredder/internal/stats"
 )
 
@@ -393,18 +394,30 @@ func (k *Kernel) fault(core int, p *Process, vpn addr.VPageNum) clock.Cycles {
 // path.
 func ClearPhysPage(cfg Config, h *hier.Hierarchy, core int, mode ZeroMode, ppn addr.PageNum) clock.Cycles {
 	mc := h.Controller()
+	if mode == ZeroNone {
+		return 0
+	}
+	// Provenance: the clear is one operation — OpShred when the shred
+	// command does the work, OpZero when data writes do. The controller
+	// layers credit their segments as the clear descends; kernel-side
+	// costs (invalidation messages, store-buffer occupancy, scrub and
+	// shred overheads) land in the span's unattributed remainder.
+	rec := mc.Spans()
+	op := span.OpZero
+	if mode == ZeroShred {
+		op = span.OpShred
+	}
+	rec.Begin(op, uint64(ppn.Addr()))
 	var lat clock.Cycles
-	if mode != ZeroNone {
-		// Physical shred policy (memctrl/policy.go): overwrite the NVM
-		// cells before the logical clear. A no-op under the default
-		// zero-cost policy; under duty-to-delete/multi-pass the core pays
-		// store-buffer occupancy per scrubbed line, like NT zeroing. The
-		// scrub runs first so a crash anywhere inside it leaves the shred
-		// uncommitted — recovery sees stale garbage, never a half-cleared
-		// page that claims to be shredded.
-		if writes := mc.ScrubPage(ppn); writes > 0 {
-			lat += memctrl.ScrubLatency(writes, h.Config().NTStoreCycles)
-		}
+	// Physical shred policy (memctrl/policy.go): overwrite the NVM
+	// cells before the logical clear. A no-op under the default
+	// zero-cost policy; under duty-to-delete/multi-pass the core pays
+	// store-buffer occupancy per scrubbed line, like NT zeroing. The
+	// scrub runs first so a crash anywhere inside it leaves the shred
+	// uncommitted — recovery sees stale garbage, never a half-cleared
+	// page that claims to be shredded.
+	if writes := mc.ScrubPage(ppn); writes > 0 {
+		lat += memctrl.ScrubLatency(writes, h.Config().NTStoreCycles)
 	}
 	switch mode {
 	case ZeroTemporal:
@@ -435,9 +448,8 @@ func ClearPhysPage(cfg Config, h *hier.Hierarchy, core int, mode ZeroMode, ppn a
 		lat += clock.Cycles(msgs) * cfg.InvalMsgCost
 		lat += mc.Shred(ppn)
 		lat += cfg.ShredOverhead
-	case ZeroNone:
-		return 0
 	}
+	rec.End(uint64(lat))
 	return lat
 }
 

@@ -97,7 +97,7 @@ func (mc *Controller) cryptoFan(job func(eng *ctr.Engine, i int)) {
 // which is why zeroFanOK requires no crash hook.
 func (mc *Controller) zeroPageParallel(p addr.PageNum) clock.Cycles {
 	mc.img.ZeroPage(p)
-	cb, lat := mc.getCounters(p)
+	cb, lat := mc.getCountersAttr(p)
 	for i := 0; i < addr.BlocksPerPage; i++ {
 		if cb.Minor[i] >= ctr.MinorMax {
 			// A bump would overflow mid-loop and force a page
@@ -119,7 +119,7 @@ func (mc *Controller) zeroPageParallel(p addr.PageNum) clock.Cycles {
 	var plain [addr.BlocksPerPage][addr.BlockSize]byte
 	for i := 0; i < addr.BlocksPerPage; i++ {
 		if i > 0 {
-			_, ctrLat := mc.getCounters(p)
+			_, ctrLat := mc.getCountersAttr(p)
 			lat += ctrLat
 		}
 		if cb.BumpMinor(i) {

@@ -21,6 +21,7 @@ import (
 	"silentshredder/internal/addr"
 	"silentshredder/internal/clock"
 	"silentshredder/internal/obs"
+	"silentshredder/internal/span"
 	"silentshredder/internal/stats"
 )
 
@@ -194,6 +195,7 @@ type Device struct {
 	wqDrainStalls, readArounds stats.Counter
 	wqOccupancy                stats.Histogram
 	bus                        *obs.Bus
+	spans                      *span.Recorder
 }
 
 // New creates a device. Channels must be at least 1.
@@ -227,6 +229,11 @@ func New(cfg Config) *Device {
 // SetBus attaches the observability event bus (nil disables). The device
 // emits bank-conflict and drain-stall events under the banked model.
 func (d *Device) SetBus(b *obs.Bus) { d.bus = b }
+
+// SetSpans attaches the latency-provenance recorder (nil disables). The
+// device credits array service time to LayerDevice and bank/queue stalls
+// to LayerBankWait on whatever span is active when an access arrives.
+func (d *Device) SetSpans(r *span.Recorder) { d.spans = r }
 
 // dataPage returns page p's storage if materialized.
 func (d *Device) dataPage(p addr.PageNum) *[addr.PageSize]byte {
@@ -316,10 +323,22 @@ func (d *Device) Bank(a addr.Phys) int {
 // thin inlinable dispatcher so the legacy path stays a single direct
 // call from the block I/O hot loop.
 func (d *Device) accessDelay(a addr.Phys, isWrite bool) clock.Cycles {
+	var extra clock.Cycles
 	if d.sched == nil {
-		return d.bankDelay(a)
+		extra = d.bankDelay(a)
+	} else {
+		extra = d.bankedDelay(a, isWrite)
 	}
-	return d.bankedDelay(a, isWrite)
+	d.spans.Add(span.LayerBankWait, uint64(extra))
+	return extra
+}
+
+// serviceLat credits the active span's device segment with the array
+// service time and returns the total access latency including the bank
+// stall (already credited to LayerBankWait by accessDelay).
+func (d *Device) serviceLat(service, bankExtra clock.Cycles) clock.Cycles {
+	d.spans.Add(span.LayerDevice, uint64(service))
+	return service + bankExtra
 }
 
 // bankedDelay runs one access through the banked drain scheduler and
@@ -387,7 +406,7 @@ func (d *Device) ReadBlock(a addr.Phys, dst []byte) clock.Cycles {
 			}
 		}
 	}
-	return d.cfg.ReadLatency + bankExtra
+	return d.serviceLat(d.cfg.ReadLatency, bankExtra)
 }
 
 // ReadBlockChecked is ReadBlock plus fault delivery: after the stored
@@ -438,7 +457,7 @@ func (d *Device) WriteBlock(a addr.Phys, src []byte) clock.Cycles {
 	if !d.cfg.StoreData || src == nil {
 		// Timing-only mode: every write programs the full block.
 		d.accountWrite(a, addr.BlockSize*8, addr.BlockSize*8)
-		return d.cfg.WriteLatency + bankExtra
+		return d.serviceLat(d.cfg.WriteLatency, bankExtra)
 	}
 
 	pg := d.dataPage(a.Page())
@@ -458,7 +477,7 @@ func (d *Device) WriteBlock(a addr.Phys, src []byte) clock.Cycles {
 		copy(d.scratch[:], src[:addr.BlockSize])
 		if !d.inj.FilterWrite(a, d.wearOf(a), old, d.scratch[:]) {
 			d.accountWrite(a, 0, addr.BlockSize*8)
-			return d.cfg.WriteLatency + bankExtra
+			return d.serviceLat(d.cfg.WriteLatency, bankExtra)
 		}
 		src = d.scratch[:]
 	}
@@ -468,21 +487,21 @@ func (d *Device) WriteBlock(a addr.Phys, src []byte) clock.Cycles {
 		changed := diffBits(old, src)
 		if changed == 0 {
 			d.skippedWrites.Inc()
-			return d.cfg.ReadLatency + bankExtra // DCW still reads to compare
+			return d.serviceLat(d.cfg.ReadLatency, bankExtra) // DCW still reads to compare
 		}
 		d.accountWrite(a, changed, addr.BlockSize*8)
 	case FNW:
 		changed := d.fnwFlips(a, old, src)
 		if changed == 0 {
 			d.skippedWrites.Inc()
-			return d.cfg.ReadLatency + bankExtra
+			return d.serviceLat(d.cfg.ReadLatency, bankExtra)
 		}
 		d.accountWrite(a, changed, addr.BlockSize*8)
 	default:
 		d.accountWrite(a, diffBits(old, src), addr.BlockSize*8)
 	}
 	copy(old, src[:addr.BlockSize])
-	return d.cfg.WriteLatency + bankExtra
+	return d.serviceLat(d.cfg.WriteLatency, bankExtra)
 }
 
 func (d *Device) accountWrite(a addr.Phys, flipped, written uint64) {

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"silentshredder/internal/span"
 )
 
 // Chrome trace_event exporter. The output is the JSON Object Format
@@ -26,6 +28,13 @@ type TraceRun struct {
 	Name string
 	// Events are the run's events in emission order.
 	Events []Event
+	// Spans are the run's latency-provenance spans (ph "X" complete
+	// events, nested by timestamp in the viewer). Optional.
+	Spans []span.Span
+	// Dropped is the run's event-ring wrap count. Non-zero counts are
+	// exported as a dropped_events metadata event so a truncated trace
+	// is visibly truncated instead of silently short.
+	Dropped uint64
 }
 
 // CyclesPerMicrosecond converts core cycles to trace microseconds
@@ -55,8 +64,15 @@ func WriteChromeTrace(w io.Writer, runs []TraceRun) error {
 			emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
 				pid, tid, quoteJSON(name)))
 		}
+		if run.Dropped > 0 {
+			emit(fmt.Sprintf(`{"name":"dropped_events","ph":"M","pid":%d,"tid":0,"args":{"count":%d}}`,
+				pid, run.Dropped))
+		}
 		for _, ev := range run.Events {
 			emit(chromeInstant(pid, ev))
+		}
+		for _, sp := range run.Spans {
+			emit(chromeSpan(pid, sp))
 		}
 	}
 	bw.str("\n]}\n")
@@ -97,6 +113,47 @@ func chromeInstant(pid int, ev Event) string {
 	if ev.Arg != 0 {
 		sb.WriteString(`,"arg":`)
 		sb.WriteString(strconv.FormatUint(ev.Arg, 10))
+	}
+	sb.WriteString(`}}`)
+	return sb.String()
+}
+
+// chromeSpan renders one latency-provenance span as a complete event
+// ("ph":"X"): ts is the span's start, dur its cycle count, both in
+// trace microseconds. Nested spans share a thread and nest by interval
+// in the viewer. Only non-zero layer segments are emitted, keyed by
+// layer name, alongside seq/addr/tenant.
+func chromeSpan(pid int, sp span.Span) string {
+	var sb strings.Builder
+	sb.WriteString(`{"name":`)
+	sb.WriteString(quoteJSON(sp.Op.String()))
+	sb.WriteString(`,"ph":"X","cat":"span","ts":`)
+	sb.WriteString(formatTS(sp.Start))
+	sb.WriteString(`,"dur":`)
+	sb.WriteString(formatTS(sp.Cycles))
+	sb.WriteString(`,"pid":`)
+	sb.WriteString(strconv.Itoa(pid))
+	sb.WriteString(`,"tid":`)
+	sb.WriteString(strconv.Itoa(int(sp.Core) + 1))
+	sb.WriteString(`,"args":{"seq":`)
+	sb.WriteString(strconv.FormatUint(sp.Seq, 10))
+	if sp.Addr != 0 {
+		sb.WriteString(`,"addr":"0x`)
+		sb.WriteString(strconv.FormatUint(sp.Addr, 16))
+		sb.WriteString(`"`)
+	}
+	if sp.Tenant >= 0 {
+		sb.WriteString(`,"tenant":`)
+		sb.WriteString(strconv.Itoa(int(sp.Tenant)))
+	}
+	for l := span.Layer(0); l < span.LayerCount; l++ {
+		if sp.Seg[l] == 0 {
+			continue
+		}
+		sb.WriteString(`,`)
+		sb.WriteString(quoteJSON(l.String()))
+		sb.WriteString(`:`)
+		sb.WriteString(strconv.FormatUint(sp.Seg[l], 10))
 	}
 	sb.WriteString(`}}`)
 	return sb.String()

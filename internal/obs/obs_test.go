@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"silentshredder/internal/span"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
@@ -211,6 +213,32 @@ func TestWriteChromeTraceGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	compareGolden(t, filepath.Join("testdata", "chrome_golden.json"), buf.Bytes())
+}
+
+// TestWriteChromeTraceSpans pins the span/complete-event form and the
+// dropped_events metadata: nested spans become ph "X" intervals on the
+// issuing core's thread, zero segments are elided, and a wrapped ring
+// is announced rather than silently truncated.
+func TestWriteChromeTraceSpans(t *testing.T) {
+	outer := span.Span{Seq: 0, Start: 2000, Cycles: 4000, Addr: 0x2000, Op: span.OpWrite, Core: 0, Tenant: 1}
+	outer.Seg[span.LayerCache] = 100
+	outer.Seg[span.LayerDevice] = 1200
+	inner := span.Span{Seq: 1, Start: 2500, Cycles: 1000, Addr: 0x2000, Op: span.OpShred, Core: 0, Tenant: 1}
+	inner.Seg[span.LayerCtrCache] = 30
+	untagged := span.Span{Seq: 2, Start: 9000, Cycles: 10, Op: span.OpMerkleFlush, Core: -1, Tenant: -1}
+	runs := []TraceRun{
+		{
+			Name:    "alpha",
+			Events:  []Event{{Seq: 0, TS: 0, Kind: EvShred, Core: -1, Addr: 0x1000}},
+			Spans:   []span.Span{outer, inner, untagged},
+			Dropped: 7,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "chrome_spans_golden.json"), buf.Bytes())
 }
 
 // compareGolden diffs got against the golden file, rewriting it under

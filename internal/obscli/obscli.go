@@ -20,6 +20,7 @@ import (
 
 	"silentshredder/internal/obs"
 	"silentshredder/internal/sim"
+	"silentshredder/internal/span"
 	"silentshredder/internal/stats"
 )
 
@@ -39,6 +40,14 @@ type Flags struct {
 	// EpochOut is the epoch series output file ("-" = stdout; ".json"
 	// selects JSON rows, anything else CSV).
 	EpochOut string
+	// Spans is the latency-provenance breakdown output file. Empty
+	// disables span recording entirely (the allocation-free nil-recorder
+	// path). "-" = stdout; ".json" selects the JSON breakdown, anything
+	// else the per-(tenant, op) CSV. Raw spans additionally join the
+	// -obs-trace Chrome export when both are set.
+	Spans string
+	// SpanRing is the per-run span ring capacity for -obs-spans.
+	SpanRing int
 }
 
 // Register installs the -obs-* flags on fs.
@@ -47,10 +56,12 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&f.Ring, "obs-ring", obs.DefaultRingCap, "per-run event ring capacity for -obs-trace (oldest events drop past this)")
 	fs.Uint64Var(&f.Epoch, "obs-epoch", 0, "sample every registered statistic each N machine cycles into a time series (0 = off)")
 	fs.StringVar(&f.EpochOut, "obs-epoch-out", "-", "epoch time-series output for -obs-epoch: \"-\" = stdout, .json = JSON, otherwise CSV")
+	fs.StringVar(&f.Spans, "obs-spans", "", "write the per-op latency-provenance breakdown to this file (\"-\" = stdout, .json = JSON, otherwise CSV; empty = spans off)")
+	fs.IntVar(&f.SpanRing, "obs-span-ring", span.DefaultRingCap, "per-run span ring capacity for -obs-spans (oldest spans drop past this; the breakdown aggregate is unaffected)")
 }
 
 // Enabled reports whether any observability capture is requested.
-func (f *Flags) Enabled() bool { return f.Trace != "" || f.Epoch > 0 }
+func (f *Flags) Enabled() bool { return f.Trace != "" || f.Epoch > 0 || f.Spans != "" }
 
 // NewBus returns a fresh per-run event bus, or nil when tracing is off.
 // Call once per run (per sweep worker job) so event order stays
@@ -62,13 +73,33 @@ func (f *Flags) NewBus() *obs.Bus {
 	return obs.NewBus(obs.Config{RingCap: f.Ring})
 }
 
+// NewSpans returns a fresh per-run span recorder, or nil (the
+// allocation-free disabled path) when -obs-spans is off. Call once per
+// run, like NewBus.
+func (f *Flags) NewSpans() *span.Recorder {
+	if f.Spans == "" {
+		return nil
+	}
+	return span.NewRecorder(span.Config{RingCap: f.SpanRing})
+}
+
 // Capture is one run's observability output as plain values: safe to
 // return from a sweep worker and merge on the collector side.
 type Capture struct {
 	Name   string
 	Events []obs.Event
-	Epochs []stats.Epoch
-	Extra  []string // tracked-histogram column names (sampler ExtraNames)
+	// Dropped is the run's event-ring wrap count; surfaced in the
+	// Chrome trace metadata and the epoch export footer so truncated
+	// artifacts announce themselves.
+	Dropped uint64
+	Epochs  []stats.Epoch
+	Extra   []string // tracked-histogram column names (sampler ExtraNames)
+	// Spans / SpanAgg / SpanDropped are the run's latency-provenance
+	// output: the raw span window (ring contents, oldest first), the
+	// full attribution aggregate, and the span-ring wrap count.
+	Spans       []span.Span
+	SpanAgg     *span.Agg
+	SpanDropped uint64
 }
 
 // Capture extracts the run's events and epoch series from the machine
@@ -77,10 +108,16 @@ func (f *Flags) Capture(name string, bus *obs.Bus, m *sim.Machine) Capture {
 	c := Capture{Name: name}
 	if bus != nil {
 		c.Events = bus.Events()
+		c.Dropped = bus.Dropped()
 	}
 	if s := m.Sampler(); s != nil {
 		c.Epochs = s.Epochs()
 		c.Extra = s.ExtraNames()
+	}
+	if r := m.SpanRecorder(); r != nil {
+		c.Spans = r.Spans()
+		c.SpanAgg = r.Aggregate()
+		c.SpanDropped = r.Dropped()
 	}
 	return c
 }
@@ -118,6 +155,11 @@ func (f *Flags) Write(captures []Capture) error {
 			return err
 		}
 	}
+	if f.Spans != "" {
+		if err := f.writeSpans(captures); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -130,7 +172,7 @@ func (f *Flags) writeTrace(captures []Capture) error {
 	if strings.HasSuffix(f.Trace, ".json") {
 		runs := make([]obs.TraceRun, len(captures))
 		for i, c := range captures {
-			runs[i] = obs.TraceRun{Name: c.Name, Events: c.Events}
+			runs[i] = obs.TraceRun{Name: c.Name, Events: c.Events, Spans: c.Spans, Dropped: c.Dropped}
 		}
 		if err := obs.WriteChromeTrace(out, runs); err != nil {
 			return err
@@ -182,6 +224,65 @@ func (f *Flags) writeEpochs(captures []Capture) error {
 				return err
 			}
 		}
+		// Footer: announce wrapped event rings so a series built from a
+		// truncated event window is visibly truncated. Comment lines
+		// only — absent entirely when nothing dropped, so intact
+		// exports are byte-identical to pre-footer output.
+		for _, c := range captures {
+			if c.Dropped > 0 {
+				if _, err := fmt.Fprintf(w, "# dropped run=%s events=%d\n", c.Name, c.Dropped); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if file != nil {
+		return file.Close()
+	}
+	return nil
+}
+
+// writeSpans renders the merged latency-provenance breakdown for the
+// captures of one sweep, in order: one CSV/JSON document, runs in
+// submission order — byte-identical for any -parallel value.
+func (f *Flags) writeSpans(captures []Capture) error {
+	var w io.Writer = os.Stdout
+	var file *os.File
+	if f.Spans != "-" && f.Spans != "" {
+		var err error
+		file, err = os.Create(f.Spans)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	if strings.HasSuffix(f.Spans, ".json") {
+		runs := make([]span.NamedAgg, len(captures))
+		for i, c := range captures {
+			runs[i] = span.NamedAgg{Run: c.Name, Agg: c.SpanAgg}
+		}
+		if err := span.WriteBreakdownJSONRuns(w, runs); err != nil {
+			return err
+		}
+	} else {
+		header := true
+		for _, c := range captures {
+			if c.SpanAgg == nil {
+				continue
+			}
+			if err := c.SpanAgg.WriteBreakdownCSV(w, c.Name, header); err != nil {
+				return err
+			}
+			header = false
+		}
+		for _, c := range captures {
+			if c.SpanDropped > 0 {
+				if _, err := fmt.Fprintf(w, "# dropped run=%s spans=%d\n", c.Name, c.SpanDropped); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	if file != nil {
 		return file.Close()
@@ -207,6 +308,17 @@ func writeEpochJSON(w io.Writer, captures []Capture, cols []stats.EpochColumn) e
 					strconv.FormatFloat(col.Value(i, c.Epochs), 'g', 6, 64)))
 			}
 			ew.str("}")
+		}
+	}
+	// Trailing wrap markers, mirroring the CSV footer: present only for
+	// runs whose event ring dropped, so intact exports are unchanged.
+	for _, c := range captures {
+		if c.Dropped > 0 {
+			if !first {
+				ew.str(",\n")
+			}
+			first = false
+			ew.str(fmt.Sprintf("  {\"run\":%q,\"dropped_events\":%d}", c.Name, c.Dropped))
 		}
 	}
 	ew.str("\n]\n")

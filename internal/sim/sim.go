@@ -17,6 +17,7 @@ import (
 	"silentshredder/internal/nvm"
 	"silentshredder/internal/obs"
 	"silentshredder/internal/physmem"
+	"silentshredder/internal/span"
 	"silentshredder/internal/stats"
 	"silentshredder/internal/wearlevel"
 )
@@ -73,6 +74,12 @@ type Config struct {
 	// sweep engine, creates one per worker machine). Nil — the default —
 	// costs nothing anywhere.
 	Bus *obs.Bus
+
+	// Spans, when non-nil, is the latency-provenance recorder every
+	// memory operation runs its span through (see internal/span). Like
+	// Bus, the caller owns its lifetime — one recorder per worker
+	// machine under the parallel sweep engine — and nil costs nothing.
+	Spans *span.Recorder
 
 	// EpochEvery, when > 0, samples every registered statistic each
 	// EpochEvery machine cycles into a time series (see
@@ -142,6 +149,7 @@ type Machine struct {
 
 	checker *Checker
 	sampler *stats.EpochSampler
+	spans   *span.Recorder
 }
 
 // New builds a machine from cfg.
@@ -220,6 +228,10 @@ func New(cfg Config) (*Machine, error) {
 			inj.SetBus(cfg.Bus)
 		}
 	}
+	if cfg.Spans != nil {
+		m.spans = cfg.Spans
+		mc.SetSpans(cfg.Spans) // propagates to the device
+	}
 	if cfg.EpochEvery > 0 {
 		m.sampler = stats.NewEpochSampler(m.Registry(), cfg.EpochEvery)
 		m.sampler.TrackHistogram("memctrl_read_latency", mc.ReadLatencyHistogram(), []float64{0.5, 0.99})
@@ -248,17 +260,27 @@ func (m *Machine) RuntimeFor(core int, p *kernel.Process) *apprt.Runtime {
 	if m.checker != nil {
 		rt.SetChecker(m.checker.forProcess(p))
 	}
-	if m.Bus != nil || m.sampler != nil {
+	if m.spans != nil {
+		rt.SetSpans(m.spans)
+	}
+	if m.Bus != nil || m.sampler != nil || m.spans != nil {
 		c := m.Cores[core]
-		bus, sampler := m.Bus, m.sampler
+		bus, sampler, spans := m.Bus, m.sampler, m.spans
+		tenant := int32(p.PID)
 		rt.SetObsHook(func() {
 			cyc := uint64(c.Cycles())
 			bus.SetNow(core, cyc)
 			sampler.Tick(cyc)
+			spans.SetNow(core, cyc)
+			spans.SetTenant(tenant)
 		})
 	}
 	return rt
 }
+
+// SpanRecorder returns the latency-provenance recorder (nil when
+// disabled).
+func (m *Machine) SpanRecorder() *span.Recorder { return m.spans }
 
 // Sampler returns the epoch time-series sampler (nil when disabled).
 func (m *Machine) Sampler() *stats.EpochSampler { return m.sampler }

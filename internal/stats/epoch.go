@@ -186,7 +186,10 @@ func RatioColumn(name, num string, den ...string) EpochColumn {
 // histogram quantiles; see ExtraNames for the natural names).
 func ExtraColumn(name string, idx int) EpochColumn {
 	return EpochColumn{Name: name, Value: func(i int, eps []Epoch) float64 {
-		if idx >= len(eps[i].Extra) {
+		// Out-of-range indexes (either direction) render as 0 rather
+		// than panicking mid-export: a capture merged from a machine
+		// without this tracked histogram simply shows an empty column.
+		if idx < 0 || idx >= len(eps[i].Extra) {
 			return 0
 		}
 		return eps[i].Extra[idx]

@@ -148,6 +148,62 @@ func TestEpochCSVGolden(t *testing.T) {
 	}
 }
 
+// TestExtraColumnEdgeCases: a tracked-histogram column whose index does
+// not exist in an epoch's Extra slice — negative, past the end, or
+// against a sampler with no tracked histograms at all — must export 0,
+// never panic. Exports frequently mix columns configured for a richer
+// machine with captures from a leaner one.
+func TestExtraColumnEdgeCases(t *testing.T) {
+	_, c, h, s := epochFixture()
+	c.Add(4)
+	h.Observe(10)
+	h.Observe(20)
+	s.Finish(50)
+	eps := s.Epochs()
+	if len(eps) != 1 || len(eps[0].Extra) != 2 {
+		t.Fatalf("fixture epochs = %+v", eps)
+	}
+	for _, tc := range []struct {
+		name string
+		idx  int
+		want float64
+	}{
+		{"valid p50", 0, h.Quantile(0.5)},
+		{"valid p99", 1, h.Quantile(0.99)},
+		{"past the end", 2, 0},
+		{"far past the end", 99, 0},
+		{"negative", -1, 0},
+	} {
+		col := ExtraColumn("lat", tc.idx)
+		if got := col.Value(0, eps); got != tc.want {
+			t.Errorf("%s: ExtraColumn(%d) = %v, want %v", tc.name, tc.idx, got, tc.want)
+		}
+	}
+
+	// No tracked histograms: Extra is nil, every index exports 0 and the
+	// CSV writer still produces a full row.
+	var c2 Counter
+	set := NewSet("mc")
+	set.RegisterCounter("writes", &c2)
+	reg := &Registry{}
+	reg.Register(set)
+	bare := NewEpochSampler(reg, 100)
+	c2.Add(1)
+	bare.Finish(10)
+	bareEps := bare.Epochs()
+	if len(bareEps) != 1 || bareEps[0].Extra != nil {
+		t.Fatalf("bare epochs = %+v", bareEps)
+	}
+	var buf bytes.Buffer
+	cols := []EpochColumn{PathColumn("mc.writes"), ExtraColumn("lat_p50", 0), ExtraColumn("bogus", -3)}
+	if err := EpochCSV(&buf, "bare", bareEps, cols); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "run,epoch,cycles,mc.writes,lat_p50,bogus\nbare,0,10,1,0,0\n"; got != want {
+		t.Fatalf("bare CSV = %q, want %q", got, want)
+	}
+}
+
 func TestEpochJSONWellFormed(t *testing.T) {
 	_, c, _, s := epochFixture()
 	c.Add(3)

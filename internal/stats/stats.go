@@ -96,6 +96,21 @@ func (h *Histogram) Observe(v float64) {
 // without copying, and keeps any future non-resettable fields safe.
 func (h *Histogram) Reset() { *h = Histogram{} }
 
+// Merge folds another histogram's samples into this one. Buckets,
+// totals, sums, and the running max combine exactly, so merging
+// per-worker histograms in submission order yields the same result as
+// observing every sample on a single histogram.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Count returns the number of samples observed.
 func (h *Histogram) Count() uint64 { return h.total }
 

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"silentshredder/internal/span"
+	"silentshredder/internal/stats"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+func sampleFixture() []Sample {
+	rec := span.NewRecorder(span.Config{RingCap: 16})
+	rec.SetNow(0, 100)
+	rec.SetTenant(7)
+	rec.Begin(span.OpShred, 0x1000)
+	rec.Add(span.LayerCtrCache, 10)
+	rec.Add(span.LayerIntegrity, 40)
+	rec.End(55)
+	rec.SetNow(1, 300)
+	rec.Begin(span.OpRead, 0x2040)
+	rec.Add(span.LayerDevice, 75)
+	rec.End(80)
+	snap := stats.Snapshot{Sets: []stats.SnapshotSet{
+		{Name: "memctrl", Stats: []stats.SnapshotStat{
+			{Name: "shred_commands", Value: 48},
+			{Name: "writes_avoided", Value: 3072},
+		}},
+		{Name: "ctr.cache", Stats: []stats.SnapshotStat{
+			{Name: "hit_rate", Value: 0.96875},
+		}},
+	}}
+	return []Sample{
+		{Run: "pagerank", Cycles: 123456, Instructions: 654321, IPC: 5.3003, Snap: snap, Spans: rec.Aggregate()},
+		{Run: "mcf", Cycles: 42, Instructions: 84, IPC: 2},
+	}
+}
+
+func TestWriteMetricsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, sampleFixture()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("metrics differ from %s:\n--- got ---\n%s\n--- want ---\n%s", path, buf.Bytes(), want)
+	}
+}
+
+// TestWriteMetricsDeterministic: same samples, same bytes.
+func TestWriteMetricsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteMetrics(&a, sampleFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetrics(&b, sampleFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two renderings of the same samples differ")
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	var p Publisher
+	srv := httptest.NewServer(Handler(&p))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	// Before any publish: an empty but well-formed exposition.
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "shredsim_samples 0") {
+		t.Fatalf("/metrics before publish = %d %q", code, body)
+	}
+
+	p.Publish(sampleFixture())
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	var want bytes.Buffer
+	if err := WriteMetrics(&want, sampleFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if body != want.String() {
+		t.Fatalf("/metrics body differs from WriteMetrics:\n--- got ---\n%s\n--- want ---\n%s", body, want.String())
+	}
+	for _, frag := range []string{
+		`shredsim_span_count{run="pagerank",op="shred"} 1`,
+		`shredsim_span_tenant_count{run="pagerank",tenant="7",op="shred"} 1`,
+		`shredsim_memctrl_writes_avoided{run="pagerank"} 3072`,
+	} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("/metrics missing %q", frag)
+		}
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Errorf("/nope = %d, want 404", code)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	for in, want := range map[string]string{
+		"ctr.cache":  "ctr_cache",
+		"hit_rate":   "hit_rate",
+		"9lives":     "_lives",
+		"a-b c/d.e9": "a_b_c_d_e9",
+	} {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
